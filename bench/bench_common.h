@@ -1,0 +1,124 @@
+#ifndef STGNN_BENCH_BENCH_COMMON_H_
+#define STGNN_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the paper-reproduction benches: cached datasets for the
+// two cities, the bench-scale training configuration, and helpers to run a
+// model family over both cities with seed repetition.
+//
+// Scale note: the real datasets (571 / 83 stations, 9 / 15 months) do not
+// fit a single-core CPU time budget. The bench cities keep the paper's
+// structure (station roles, flows with travel lag, daily/weekly periodicity,
+// 15-minute slots, 70/10/20 day-aligned splits, k=96, d=7) at a reduced
+// station count and 28 days. Absolute errors therefore differ from the
+// paper's Tables; the comparisons between models are what these benches
+// reproduce.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/neural_base.h"
+#include "core/config.h"
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "eval/experiment.h"
+
+namespace stgnn::bench {
+
+inline const data::FlowDataset& ChicagoDataset() {
+  static const data::FlowDataset* flow = [] {
+    data::TripDataset trips =
+        data::CitySimulator(data::CityConfig::ChicagoLike()).Generate();
+    data::CleanseTrips(&trips);
+    return new data::FlowDataset(data::BuildFlowDataset(trips));
+  }();
+  return *flow;
+}
+
+inline const data::FlowDataset& LosAngelesDataset() {
+  static const data::FlowDataset* flow = [] {
+    data::TripDataset trips =
+        data::CitySimulator(data::CityConfig::LaLike()).Generate();
+    data::CleanseTrips(&trips);
+    return new data::FlowDataset(data::BuildFlowDataset(trips));
+  }();
+  return *flow;
+}
+
+// Paper hyperparameters (Section VII-C) with validation-selected depth,
+// dropout, and
+// a CPU train-to-plateau budget. The paper picks its hyperparameters on the
+// validation split; at this dataset scale the validation optimum is one
+// layer per branch (the bench-scale layer sweeps in Figs. 8-9 show the same
+// curve shape with the knee shifted left).
+inline core::StgnnConfig BenchStgnnConfig(uint64_t seed = 1) {
+  core::StgnnConfig config;
+  config.short_term_slots = 96;  // k
+  config.long_term_days = 7;     // d
+  config.fcg_layers = 1;
+  config.pcg_layers = 1;
+  config.attention_heads = 4;    // m
+  config.dropout = 0.1f;
+  config.learning_rate = 0.005f;
+  config.batch_size = 32;
+  config.epochs = 32;
+  config.max_samples_per_epoch = 448;
+  config.seed = seed;
+  return config;
+}
+
+// Reduced equal-budget configuration for the hyperparameter sweep figures
+// (Figs. 4-9): every variant in a figure gets the same training budget, so
+// the *relative* comparison is meaningful at a fraction of the cost.
+inline core::StgnnConfig FigureStgnnConfig(uint64_t seed = 1) {
+  core::StgnnConfig config = BenchStgnnConfig(seed);
+  config.epochs = 10;
+  config.max_samples_per_epoch = 224;
+  return config;
+}
+
+inline baselines::NeuralTrainOptions BenchNeuralOptions(uint64_t seed = 1) {
+  baselines::NeuralTrainOptions options;
+  options.epochs = 10;
+  options.max_samples_per_epoch = 320;
+  options.batch_size = 32;
+  options.learning_rate = 0.005f;
+  options.seed = seed;
+  return options;
+}
+
+// Evaluation window with history aligned across all models: everything can
+// see k=96 slots and d=7 days back.
+inline eval::EvalWindow AlignedWindow(const data::FlowDataset& flow,
+                                      int begin_hour = -1,
+                                      int end_hour = -1) {
+  eval::EvalWindow window;
+  window.min_history = flow.FirstPredictableSlot(96, 7);
+  window.begin_hour = begin_hour;
+  window.end_hour = end_hour;
+  return window;
+}
+
+// Runs `factory` on both cities with `num_seeds` repetitions each and
+// returns a formatted table row.
+inline eval::TableRow RunOnBothCities(const std::string& model_name,
+                                      const eval::PredictorFactory& factory,
+                                      int num_seeds, int begin_hour = -1,
+                                      int end_hour = -1) {
+  eval::TableRow row;
+  row.model = model_name;
+  const auto& chicago = ChicagoDataset();
+  const auto& la = LosAngelesDataset();
+  std::fprintf(stderr, "  [%s] chicago...\n", model_name.c_str());
+  row.chicago = eval::Summarize(eval::RunSeeds(
+      factory, chicago, AlignedWindow(chicago, begin_hour, end_hour),
+      num_seeds));
+  std::fprintf(stderr, "  [%s] la...\n", model_name.c_str());
+  row.los_angeles = eval::Summarize(eval::RunSeeds(
+      factory, la, AlignedWindow(la, begin_hour, end_hour), num_seeds));
+  return row;
+}
+
+}  // namespace stgnn::bench
+
+#endif  // STGNN_BENCH_BENCH_COMMON_H_

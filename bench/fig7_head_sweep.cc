@@ -1,0 +1,44 @@
+// Reproduces Fig. 7: impact of the attention head count m in {1..5} on
+// RMSE and MAE for both cities (one data series per city, like the paper's
+// line plots).
+//
+// Expected shape: error declines as m grows and flattens around m = 4.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/stgnn_djd.h"
+
+namespace stgnn::bench {
+namespace {
+
+void Run() {
+  std::printf("== Fig. 7: impact of head number m ==\n");
+  std::printf("%-4s | %-12s %-12s | %-12s %-12s\n", "m", "Chicago RMSE",
+              "Chicago MAE", "LA RMSE", "LA MAE");
+  for (int heads = 1; heads <= 5; ++heads) {
+    const auto factory = [heads](uint64_t seed) {
+      core::StgnnConfig config = FigureStgnnConfig(seed);
+      config.attention_heads = heads;
+      return std::make_unique<core::StgnnDjdPredictor>(config);
+    };
+    std::fprintf(stderr, "  m=%d...\n", heads);
+    const auto& chicago = ChicagoDataset();
+    const auto& la = LosAngelesDataset();
+    const eval::SeedStats chi = eval::Summarize(
+        eval::RunSeeds(factory, chicago, AlignedWindow(chicago), 1));
+    const eval::SeedStats los = eval::Summarize(
+        eval::RunSeeds(factory, la, AlignedWindow(la), 1));
+    std::printf("%-4d | %-12.3f %-12.3f | %-12.3f %-12.3f\n", heads,
+                chi.mean_rmse, chi.mean_mae, los.mean_rmse, los.mean_mae);
+  }
+}
+
+}  // namespace
+}  // namespace stgnn::bench
+
+int main() {
+  stgnn::bench::Run();
+  return 0;
+}

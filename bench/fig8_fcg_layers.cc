@@ -1,0 +1,43 @@
+// Reproduces Fig. 8: impact of the FCG layer count (1..5) on RMSE and MAE.
+//
+// Expected shape: best around 2 layers; deeper stacks add parameters
+// without improving accuracy.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "core/stgnn_djd.h"
+
+namespace stgnn::bench {
+namespace {
+
+void Run() {
+  std::printf("== Fig. 8: impact of FCG layer number ==\n");
+  std::printf("%-6s | %-12s %-12s | %-12s %-12s\n", "layer", "Chicago RMSE",
+              "Chicago MAE", "LA RMSE", "LA MAE");
+  for (int layers = 1; layers <= 5; ++layers) {
+    const auto factory = [layers](uint64_t seed) {
+      core::StgnnConfig config = FigureStgnnConfig(seed);
+      config.fcg_layers = layers;
+      return std::make_unique<core::StgnnDjdPredictor>(config);
+    };
+    std::fprintf(stderr, "  fcg layers=%d...\n", layers);
+    const auto& chicago = ChicagoDataset();
+    const auto& la = LosAngelesDataset();
+    const eval::SeedStats chi = eval::Summarize(
+        eval::RunSeeds(factory, chicago, AlignedWindow(chicago), 1));
+    const eval::SeedStats los = eval::Summarize(
+        eval::RunSeeds(factory, la, AlignedWindow(la), 1));
+    std::printf("%-6d | %-12.3f %-12.3f | %-12.3f %-12.3f\n", layers,
+                chi.mean_rmse, chi.mean_mae, los.mean_rmse, los.mean_mae);
+  }
+}
+
+}  // namespace
+}  // namespace stgnn::bench
+
+int main() {
+  stgnn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks of the computational kernels the model spends its time
+// in: matmul, row softmax, the attention aggregator, flow convolution, and
+// a full forward/backward step. Useful for tracking substrate regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/aggregators.h"
+#include "core/flow_convolution.h"
+#include "nn/loss.h"
+#include "tensor/tensor.h"
+
+namespace stgnn {
+namespace {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+using tensor::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(1);
+  const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  const Tensor b = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(24)->Arg(50)->Arg(128);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(2);
+  const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::RowSoftmax(a));
+  }
+}
+BENCHMARK(BM_RowSoftmax)->Arg(50)->Arg(128);
+
+void BM_AttentionLayerForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(3);
+  core::AttentionGnnLayer layer(n, 4, &rng);
+  Variable features =
+      Variable::Constant(Tensor::RandomNormal({n, n}, 0, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(features));
+  }
+}
+BENCHMARK(BM_AttentionLayerForward)->Arg(24)->Arg(50);
+
+void BM_FlowConvolutionForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(4);
+  core::FlowConvolution conv(n, 96, 7, &rng);
+  data::StHistory history;
+  history.inflow_short = Tensor::RandomUniform({96, n * n}, 0, 1, &rng);
+  history.outflow_short = Tensor::RandomUniform({96, n * n}, 0, 1, &rng);
+  history.inflow_long = Tensor::RandomUniform({7, n * n}, 0, 1, &rng);
+  history.outflow_long = Tensor::RandomUniform({7, n * n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(history));
+  }
+}
+BENCHMARK(BM_FlowConvolutionForward)->Arg(24)->Arg(50);
+
+void BM_ForwardBackwardStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(5);
+  core::AttentionGnnLayer layer(n, 4, &rng);
+  Variable features =
+      Variable::Constant(Tensor::RandomNormal({n, n}, 0, 1, &rng));
+  Variable target =
+      Variable::Constant(Tensor::RandomNormal({n, n}, 0, 1, &rng));
+  for (auto _ : state) {
+    layer.ZeroGrad();
+    Variable out = layer.Forward(features);
+    Variable loss = ag::MeanAll(ag::Square(ag::Sub(out, target)));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.value().item());
+  }
+}
+BENCHMARK(BM_ForwardBackwardStep)->Arg(24)->Arg(50);
+
+}  // namespace
+}  // namespace stgnn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Reproduces Table II: RMSE/MAE restricted to morning (07:00-10:00) and
+// evening (17:00-20:00) rush hours for the deep models. Each model is
+// trained once per city per seed and evaluated on both windows.
+//
+// Expected shape (paper Table II): STGNN-DJD leads in both windows on both
+// cities, with a larger margin than the whole-day comparison because rush
+// hours carry more flow information.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/astgcn.h"
+#include "baselines/gbike.h"
+#include "baselines/gcnn.h"
+#include "baselines/mgnn.h"
+#include "baselines/stsgcn.h"
+#include "bench/bench_common.h"
+#include "core/stgnn_djd.h"
+
+namespace stgnn::bench {
+namespace {
+
+constexpr int kSeeds = 1;
+
+struct RushRow {
+  std::string model;
+  eval::SeedStats chicago_morning, la_morning;
+  eval::SeedStats chicago_evening, la_evening;
+};
+
+RushRow RunModel(const std::string& name,
+                 const eval::PredictorFactory& factory) {
+  RushRow row;
+  row.model = name;
+  struct CityOut {
+    std::vector<eval::Metrics> morning, evening;
+  };
+  for (const auto* flow : {&ChicagoDataset(), &LosAngelesDataset()}) {
+    std::fprintf(stderr, "  [%s] %s...\n", name.c_str(),
+                 flow->city_name.c_str());
+    CityOut out;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto model = factory(1 + s * 1000003ULL);
+      model->Train(*flow);
+      out.morning.push_back(eval::EvaluateOnTestSplit(
+          model.get(), *flow, AlignedWindow(*flow, 7, 10)));
+      out.evening.push_back(eval::EvaluateOnTestSplit(
+          model.get(), *flow, AlignedWindow(*flow, 17, 20)));
+    }
+    const bool is_chicago = flow == &ChicagoDataset();
+    if (is_chicago) {
+      row.chicago_morning = eval::Summarize(out.morning);
+      row.chicago_evening = eval::Summarize(out.evening);
+    } else {
+      row.la_morning = eval::Summarize(out.morning);
+      row.la_evening = eval::Summarize(out.evening);
+    }
+  }
+  return row;
+}
+
+void PrintSection(const char* title, const std::vector<RushRow>& rows,
+                  bool morning) {
+  std::printf("-- %s --\n", title);
+  std::printf("%-14s | %-15s %-15s | %-15s %-15s\n", "Method", "Chicago RMSE",
+              "Chicago MAE", "LA RMSE", "LA MAE");
+  for (const RushRow& row : rows) {
+    const eval::SeedStats& chi = morning ? row.chicago_morning
+                                         : row.chicago_evening;
+    const eval::SeedStats& la = morning ? row.la_morning : row.la_evening;
+    std::printf("%-14s | %.3f±%.3f     %.3f±%.3f     | %.3f±%.3f     "
+                "%.3f±%.3f\n",
+                row.model.c_str(), chi.mean_rmse, chi.std_rmse, chi.mean_mae,
+                chi.std_mae, la.mean_rmse, la.std_rmse, la.mean_mae,
+                la.std_mae);
+  }
+}
+
+void Run() {
+  std::vector<RushRow> rows;
+  rows.push_back(RunModel("GCNN", [](uint64_t seed) {
+    return std::make_unique<baselines::Gcnn>(BenchNeuralOptions(seed));
+  }));
+  rows.push_back(RunModel("MGNN", [](uint64_t seed) {
+    return std::make_unique<baselines::Mgnn>(BenchNeuralOptions(seed));
+  }));
+  rows.push_back(RunModel("ASTGCN", [](uint64_t seed) {
+    return std::make_unique<baselines::Astgcn>(BenchNeuralOptions(seed));
+  }));
+  rows.push_back(RunModel("STSGCN", [](uint64_t seed) {
+    return std::make_unique<baselines::Stsgcn>(BenchNeuralOptions(seed));
+  }));
+  rows.push_back(RunModel("GBike", [](uint64_t seed) {
+    return std::make_unique<baselines::GBike>(BenchNeuralOptions(seed));
+  }));
+  rows.push_back(RunModel("STGNN-DJD", [](uint64_t seed) {
+    return std::make_unique<core::StgnnDjdPredictor>(BenchStgnnConfig(seed));
+  }));
+
+  std::printf("== Table II: performance at rush hours ==\n");
+  PrintSection("Morning (07:00-10:00)", rows, /*morning=*/true);
+  PrintSection("Evening (17:00-20:00)", rows, /*morning=*/false);
+}
+
+}  // namespace
+}  // namespace stgnn::bench
+
+int main() {
+  stgnn::bench::Run();
+  return 0;
+}

@@ -1,0 +1,395 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+namespace stgnn::autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Builds an op node from a forward value and parent variables. The caller
+// then installs backward_fn on the returned node if any parent needs grads.
+std::shared_ptr<Node> MakeNode(Tensor value,
+                               const std::vector<Variable>& parents) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const auto& p : parents) {
+    STGNN_CHECK(p.defined()) << "op input is an undefined Variable";
+    node->parents.push_back(p.node());
+    node->requires_grad = node->requires_grad || p.requires_grad();
+  }
+  return node;
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  auto node = MakeNode(tensor::Add(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) pa->AccumulateGrad(self->grad);
+      if (pb->requires_grad) pb->AccumulateGrad(self->grad);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  auto node = MakeNode(tensor::Sub(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) pa->AccumulateGrad(self->grad);
+      if (pb->requires_grad) pb->AccumulateGrad(tensor::Neg(self->grad));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  auto node = MakeNode(tensor::Mul(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) {
+        pa->AccumulateGrad(tensor::Mul(self->grad, pb->value));
+      }
+      if (pb->requires_grad) {
+        pb->AccumulateGrad(tensor::Mul(self->grad, pa->value));
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  auto node = MakeNode(tensor::Div(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) {
+        pa->AccumulateGrad(tensor::Div(self->grad, pb->value));
+      }
+      if (pb->requires_grad) {
+        // d(a/b)/db = -a / b^2.
+        Tensor g = tensor::Mul(self->grad, pa->value);
+        g = tensor::Div(g, tensor::Square(pb->value));
+        pb->AccumulateGrad(tensor::Neg(g));
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+namespace {
+
+// Unary op with a gradient of the form grad_out * local(input, output).
+template <typename LocalGradFn>
+Variable UnaryOp(const Variable& a, Tensor value, LocalGradFn local_grad) {
+  auto node = MakeNode(std::move(value), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa, local_grad]() {
+      pa->AccumulateGrad(tensor::Mul(self->grad, local_grad(pa->value,
+                                                            self->value)));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace
+
+Variable Neg(const Variable& a) {
+  return UnaryOp(a, tensor::Neg(a.value()), [](const Tensor& x, const Tensor&) {
+    return tensor::Tensor::Full(x.shape(), -1.0f);
+  });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryOp(a, tensor::Exp(a.value()),
+                 [](const Tensor&, const Tensor& y) { return y; });
+}
+
+Variable Log(const Variable& a) {
+  return UnaryOp(a, tensor::Log(a.value()),
+                 [](const Tensor& x, const Tensor&) {
+                   return tensor::Div(tensor::Tensor::Ones(x.shape()), x);
+                 });
+}
+
+Variable Sqrt(const Variable& a) {
+  return UnaryOp(a, tensor::Sqrt(a.value()),
+                 [](const Tensor&, const Tensor& y) {
+                   // d sqrt(x)/dx = 1 / (2 sqrt(x)) = 0.5 / y.
+                   return tensor::Div(tensor::Tensor::Full(y.shape(), 0.5f), y);
+                 });
+}
+
+Variable Square(const Variable& a) {
+  return UnaryOp(a, tensor::Square(a.value()),
+                 [](const Tensor& x, const Tensor&) {
+                   return tensor::MulScalar(x, 2.0f);
+                 });
+}
+
+Variable Relu(const Variable& a) {
+  return UnaryOp(a, tensor::Relu(a.value()),
+                 [](const Tensor& x, const Tensor&) {
+                   Tensor mask(x.shape());
+                   auto& m = mask.mutable_data();
+                   const auto& d = x.data();
+                   for (size_t i = 0; i < m.size(); ++i) {
+                     m[i] = d[i] > 0.0f ? 1.0f : 0.0f;
+                   }
+                   return mask;
+                 });
+}
+
+Variable Elu(const Variable& a, float alpha) {
+  return UnaryOp(a, tensor::Elu(a.value(), alpha),
+                 [alpha](const Tensor& x, const Tensor& y) {
+                   // d elu/dx = 1 for x > 0, else alpha * exp(x) = y + alpha.
+                   Tensor g(x.shape());
+                   auto& gd = g.mutable_data();
+                   const auto& xd = x.data();
+                   const auto& yd = y.data();
+                   for (size_t i = 0; i < gd.size(); ++i) {
+                     gd[i] = xd[i] > 0.0f ? 1.0f : yd[i] + alpha;
+                   }
+                   return g;
+                 });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryOp(a, tensor::Sigmoid(a.value()),
+                 [](const Tensor&, const Tensor& y) {
+                   // y * (1 - y).
+                   Tensor g(y.shape());
+                   auto& gd = g.mutable_data();
+                   const auto& yd = y.data();
+                   for (size_t i = 0; i < gd.size(); ++i) {
+                     gd[i] = yd[i] * (1.0f - yd[i]);
+                   }
+                   return g;
+                 });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryOp(a, tensor::Tanh(a.value()),
+                 [](const Tensor&, const Tensor& y) {
+                   Tensor g(y.shape());
+                   auto& gd = g.mutable_data();
+                   const auto& yd = y.data();
+                   for (size_t i = 0; i < gd.size(); ++i) {
+                     gd[i] = 1.0f - yd[i] * yd[i];
+                   }
+                   return g;
+                 });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  auto node = MakeNode(tensor::AddScalar(a.value(), s), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() { pa->AccumulateGrad(self->grad); };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  auto node = MakeNode(tensor::MulScalar(a.value(), s), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa, s]() {
+      pa->AccumulateGrad(tensor::MulScalar(self->grad, s));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  auto node = MakeNode(tensor::MatMul(a.value(), b.value()), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) {
+        pa->AccumulateGrad(
+            tensor::MatMul(self->grad, pb->value.Transpose()));
+      }
+      if (pb->requires_grad) {
+        pb->AccumulateGrad(
+            tensor::MatMul(pa->value.Transpose(), self->grad));
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Transpose(const Variable& a) {
+  auto node = MakeNode(a.value().Transpose(), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      pa->AccumulateGrad(self->grad.Transpose());
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  auto node = MakeNode(a.value().Reshape(std::move(new_shape)), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      pa->AccumulateGrad(self->grad.Reshape(pa->value.shape()));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Concat(const std::vector<Variable>& parts, int axis) {
+  STGNN_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p.value());
+  auto node = MakeNode(tensor::Concat(values, axis), parts);
+  if (node->requires_grad) {
+    Node* self = node.get();
+    std::vector<Node*> parents;
+    parents.reserve(parts.size());
+    for (const auto& p : parts) parents.push_back(p.node().get());
+    node->backward_fn = [self, parents, axis]() {
+      int offset = 0;
+      for (Node* parent : parents) {
+        const int extent = parent->value.dim(axis);
+        Tensor slice = axis == 0
+                           ? self->grad.SliceRows(offset, offset + extent)
+                           : [&] {
+                               // Column slice of a 2-D gradient.
+                               const int rows = self->grad.dim(0);
+                               Tensor out({rows, extent});
+                               for (int i = 0; i < rows; ++i) {
+                                 for (int j = 0; j < extent; ++j) {
+                                   out.at(i, j) = self->grad.at(i, offset + j);
+                                 }
+                               }
+                               return out;
+                             }();
+        if (parent->requires_grad) parent->AccumulateGrad(slice);
+        offset += extent;
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SliceRows(const Variable& a, int begin, int end) {
+  auto node = MakeNode(a.value().SliceRows(begin, end), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa, begin]() {
+      Tensor scatter = Tensor::Zeros(pa->value.shape());
+      const int64_t row_size =
+          pa->value.dim(0) == 0 ? 0 : pa->value.size() / pa->value.dim(0);
+      const auto& g = self->grad.data();
+      auto& s = scatter.mutable_data();
+      std::copy(g.begin(), g.end(),
+                s.begin() + static_cast<size_t>(begin * row_size));
+      pa->AccumulateGrad(scatter);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SumAll(const Variable& a) {
+  auto node = MakeNode(tensor::SumAll(a.value()), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      pa->AccumulateGrad(
+          tensor::Tensor::Full(pa->value.shape(), self->grad.item()));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return MulScalar(SumAll(a), inv);
+}
+
+Variable SumAxisKeepdims(const Variable& a, int axis) {
+  auto node = MakeNode(tensor::SumAxis(a.value(), axis, /*keepdims=*/true),
+                       {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      // Broadcasting an [r,1] or [1,c] gradient back over the summed axis.
+      pa->AccumulateGrad(
+          tensor::Add(tensor::Tensor::Zeros(pa->value.shape()), self->grad));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable RowSoftmax(const Variable& a) {
+  auto node = MakeNode(tensor::RowSoftmax(a.value()), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      // dL/dx_ij = y_ij * (g_ij - sum_k g_ik y_ik).
+      const Tensor& y = self->value;
+      const Tensor& g = self->grad;
+      const int rows = y.dim(0);
+      const int cols = y.dim(1);
+      Tensor dx(y.shape());
+      for (int i = 0; i < rows; ++i) {
+        double dot = 0.0;
+        for (int j = 0; j < cols; ++j) dot += g.at(i, j) * y.at(i, j);
+        for (int j = 0; j < cols; ++j) {
+          dx.at(i, j) = y.at(i, j) * (g.at(i, j) - static_cast<float>(dot));
+        }
+      }
+      pa->AccumulateGrad(dx);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable Dropout(const Variable& a, float p, bool training,
+                 common::Rng* rng) {
+  STGNN_CHECK_GE(p, 0.0f);
+  STGNN_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  STGNN_CHECK(rng != nullptr);
+  Tensor mask(a.value().shape());
+  const float scale = 1.0f / (1.0f - p);
+  auto& md = mask.mutable_data();
+  for (auto& m : md) m = rng->Bernoulli(p) ? 0.0f : scale;
+  return Mul(a, Variable::Constant(std::move(mask)));
+}
+
+}  // namespace stgnn::autograd

@@ -1,0 +1,74 @@
+#ifndef STGNN_AUTOGRAD_OPS_H_
+#define STGNN_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace stgnn::autograd {
+
+// Differentiable operations over Variables. Each op builds a graph node whose
+// backward closure pushes gradients to its inputs. Shapes follow the tensor
+// library's broadcasting rules; gradients are reduced back to input shapes.
+
+// --- Elementwise binary (broadcasting) ---
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// --- Elementwise unary ---
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Square(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Elu(const Variable& a, float alpha = 1.0f);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+
+// --- Scalar ---
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+
+// --- Linear algebra / shape ---
+Variable MatMul(const Variable& a, const Variable& b);
+Variable Transpose(const Variable& a);
+Variable Reshape(const Variable& a, tensor::Shape new_shape);
+// Concatenates 2-D variables along axis (0 = rows, 1 = cols).
+Variable Concat(const std::vector<Variable>& parts, int axis);
+// Rows [begin, end) along axis 0.
+Variable SliceRows(const Variable& a, int begin, int end);
+
+// --- Reductions ---
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+// Sum along one axis of a 2-D variable, keeping a size-1 axis.
+Variable SumAxisKeepdims(const Variable& a, int axis);
+
+// Row-wise softmax of a 2-D variable.
+Variable RowSoftmax(const Variable& a);
+
+// Inverted dropout: scales surviving activations by 1/(1-p) during training;
+// identity when `training` is false. `rng` supplies the mask.
+Variable Dropout(const Variable& a, float p, bool training, common::Rng* rng);
+
+// Convenience operators.
+inline Variable operator+(const Variable& a, const Variable& b) {
+  return Add(a, b);
+}
+inline Variable operator-(const Variable& a, const Variable& b) {
+  return Sub(a, b);
+}
+inline Variable operator*(const Variable& a, const Variable& b) {
+  return Mul(a, b);
+}
+inline Variable operator/(const Variable& a, const Variable& b) {
+  return Div(a, b);
+}
+
+}  // namespace stgnn::autograd
+
+#endif  // STGNN_AUTOGRAD_OPS_H_

@@ -1,0 +1,149 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace stgnn::autograd {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor ReduceGradToShape(const Tensor& grad, const Shape& target_shape) {
+  if (grad.shape() == target_shape) return grad;
+  // Align target to grad's rank with leading 1s, then sum the axes where the
+  // target extent is 1 (or absent).
+  const int rank = grad.ndim();
+  const int target_rank = static_cast<int>(target_shape.size());
+  STGNN_CHECK_LE(target_rank, rank);
+  Shape aligned(rank, 1);
+  std::copy(target_shape.begin(), target_shape.end(),
+            aligned.begin() + (rank - target_rank));
+
+  Tensor out(aligned);
+  // Iterate over all grad elements, folding into the reduced index.
+  std::vector<int> index(rank, 0);
+  const auto& gdata = grad.data();
+  auto& odata = out.mutable_data();
+  // Row-major strides of the aligned (output) shape.
+  std::vector<int64_t> ostrides(rank, 1);
+  for (int i = rank - 2; i >= 0; --i) {
+    ostrides[i] = ostrides[i + 1] * aligned[i + 1];
+  }
+  for (int64_t flat = 0; flat < grad.size(); ++flat) {
+    int64_t oflat = 0;
+    for (int d = 0; d < rank; ++d) {
+      oflat += (aligned[d] == 1 ? 0 : index[d]) * ostrides[d];
+    }
+    odata[static_cast<size_t>(oflat)] += gdata[static_cast<size_t>(flat)];
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++index[d] < grad.dim(d)) break;
+      index[d] = 0;
+    }
+  }
+  return out.Reshape(target_shape);
+}
+
+void Node::AccumulateGrad(const Tensor& g) {
+  const Tensor reduced = ReduceGradToShape(g, value.shape());
+  if (!grad_initialized) {
+    grad = reduced;
+    grad_initialized = true;
+  } else {
+    grad = tensor::Add(grad, reduced);
+  }
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::Constant(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/false);
+}
+
+Variable Variable::Parameter(Tensor value) {
+  return Variable(std::move(value), /*requires_grad=*/true);
+}
+
+const Tensor& Variable::value() const {
+  STGNN_CHECK(defined());
+  return node_->value;
+}
+
+Tensor Variable::grad() const {
+  STGNN_CHECK(defined());
+  if (!node_->grad_initialized) return Tensor::Zeros(node_->value.shape());
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  STGNN_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::SetValue(Tensor value) {
+  STGNN_CHECK(defined());
+  STGNN_CHECK(value.shape() == node_->value.shape())
+      << "SetValue shape mismatch";
+  node_->value = std::move(value);
+}
+
+void Variable::ZeroGrad() {
+  STGNN_CHECK(defined());
+  node_->grad_initialized = false;
+  node_->grad = Tensor();
+}
+
+Variable Variable::FromNode(std::shared_ptr<Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+namespace {
+
+// Builds a reverse topological order (outputs first) of the subgraph that
+// requires gradients.
+void TopoSort(const std::shared_ptr<Node>& root,
+              std::vector<std::shared_ptr<Node>>* order) {
+  std::unordered_set<Node*> visited;
+  // Iterative post-order DFS to avoid recursion depth limits on long chains.
+  struct Frame {
+    std::shared_ptr<Node> node;
+    size_t next_parent = 0;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) stack.push_back({root});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      const auto& parent = top.node->parents[top.next_parent++];
+      if (parent->requires_grad && visited.insert(parent.get()).second) {
+        stack.push_back({parent});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  // Post-order gives parents-before-children; reverse for children-first.
+  std::reverse(order->begin(), order->end());
+}
+
+}  // namespace
+
+void Variable::Backward() const {
+  STGNN_CHECK(defined());
+  STGNN_CHECK(node_->requires_grad)
+      << "Backward() on a variable that does not require grad";
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  std::vector<std::shared_ptr<Node>> order;
+  TopoSort(node_, &order);
+  for (const auto& node : order) {
+    if (node->backward_fn && node->grad_initialized) node->backward_fn();
+  }
+}
+
+}  // namespace stgnn::autograd

@@ -1,0 +1,123 @@
+#include "baselines/arima.h"
+
+#include <cmath>
+
+namespace stgnn::baselines {
+
+using tensor::Tensor;
+
+std::vector<double> RidgeLeastSquares(const std::vector<std::vector<double>>& x,
+                                      const std::vector<double>& y,
+                                      double ridge) {
+  STGNN_CHECK_EQ(x.size(), y.size());
+  STGNN_CHECK(!x.empty());
+  const int features = static_cast<int>(x[0].size());
+  // Normal equations: A = X^T X + ridge I, b = X^T y.
+  std::vector<std::vector<double>> a(features,
+                                     std::vector<double>(features, 0.0));
+  std::vector<double> b(features, 0.0);
+  for (size_t r = 0; r < x.size(); ++r) {
+    STGNN_CHECK_EQ(static_cast<int>(x[r].size()), features);
+    for (int i = 0; i < features; ++i) {
+      b[i] += x[r][i] * y[r];
+      for (int j = i; j < features; ++j) a[i][j] += x[r][i] * x[r][j];
+    }
+  }
+  for (int i = 0; i < features; ++i) {
+    a[i][i] += ridge;
+    for (int j = 0; j < i; ++j) a[i][j] = a[j][i];
+  }
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < features; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < features; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    STGNN_CHECK_GT(std::fabs(diag), 1e-12) << "singular normal equations";
+    for (int r = col + 1; r < features; ++r) {
+      const double factor = a[r][col] / diag;
+      if (factor == 0.0) continue;
+      for (int c = col; c < features; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(features, 0.0);
+  for (int r = features - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < features; ++c) acc -= a[r][c] * w[c];
+    w[r] = acc / a[r][r];
+  }
+  return w;
+}
+
+Arima::Arima(int order, double ridge) : order_(order), ridge_(ridge) {
+  STGNN_CHECK_GT(order, 0);
+}
+
+namespace {
+
+// Fits AR(p) with intercept on the differenced series of one station.
+std::vector<double> FitStationAr(const Tensor& series, int station, int order,
+                                 int train_end, double ridge) {
+  // Differenced series d_t = s_t - s_{t-1}, t in [1, train_end).
+  std::vector<double> diff;
+  diff.reserve(train_end - 1);
+  for (int t = 1; t < train_end; ++t) {
+    diff.push_back(series.at(t, station) - series.at(t - 1, station));
+  }
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int t = order; t < static_cast<int>(diff.size()); ++t) {
+    std::vector<double> row(order + 1, 1.0);  // last slot = intercept
+    for (int lag = 0; lag < order; ++lag) row[lag] = diff[t - 1 - lag];
+    x.push_back(std::move(row));
+    y.push_back(diff[t]);
+  }
+  if (x.empty()) return std::vector<double>(order + 1, 0.0);
+  return RidgeLeastSquares(x, y, ridge);
+}
+
+// One-step forecast: ŝ_t = s_{t-1} + AR prediction of the next difference.
+double ForecastStation(const Tensor& series, int station, int t,
+                       const std::vector<double>& coeffs, int order) {
+  double prediction = coeffs[order];  // intercept
+  for (int lag = 0; lag < order; ++lag) {
+    const double diff = series.at(t - 1 - lag, station) -
+                        series.at(t - 2 - lag, station);
+    prediction += coeffs[lag] * diff;
+  }
+  return std::max(0.0, series.at(t - 1, station) + prediction);
+}
+
+}  // namespace
+
+void Arima::Train(const data::FlowDataset& flow) {
+  const int n = flow.num_stations;
+  demand_coeffs_.resize(n);
+  supply_coeffs_.resize(n);
+  for (int i = 0; i < n; ++i) {
+    demand_coeffs_[i] =
+        FitStationAr(flow.demand, i, order_, flow.train_end, ridge_);
+    supply_coeffs_[i] =
+        FitStationAr(flow.supply, i, order_, flow.train_end, ridge_);
+  }
+}
+
+Tensor Arima::Predict(const data::FlowDataset& flow, int t) {
+  STGNN_CHECK(!demand_coeffs_.empty()) << "Predict before Train";
+  STGNN_CHECK_GE(t, order_ + 2);
+  const int n = flow.num_stations;
+  Tensor out({n, 2});
+  for (int i = 0; i < n; ++i) {
+    out.at(i, 0) = static_cast<float>(
+        ForecastStation(flow.demand, i, t, demand_coeffs_[i], order_));
+    out.at(i, 1) = static_cast<float>(
+        ForecastStation(flow.supply, i, t, supply_coeffs_[i], order_));
+  }
+  return out;
+}
+
+}  // namespace stgnn::baselines

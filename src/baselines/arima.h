@@ -1,0 +1,41 @@
+#ifndef STGNN_BASELINES_ARIMA_H_
+#define STGNN_BASELINES_ARIMA_H_
+
+#include <vector>
+
+#include "eval/predictor.h"
+
+namespace stgnn::baselines {
+
+// ARIMA(p, 1, 0) fitted per station and per series (demand, supply) by
+// ridge-regularised least squares on the first-differenced series. The
+// moving-average terms add little for this comparison and full MLE
+// estimation is out of scope; the autoregressive backbone is what the paper
+// contrasts against. Default window p = 12 matches Section VII-B.
+class Arima : public eval::Predictor {
+ public:
+  explicit Arima(int order = 12, double ridge = 1e-3);
+
+  std::string name() const override { return "ARIMA"; }
+  void Train(const data::FlowDataset& flow) override;
+  tensor::Tensor Predict(const data::FlowDataset& flow, int t) override;
+
+  int order() const { return order_; }
+
+ private:
+  // AR coefficients per station: [n][order + 1] (last entry = intercept).
+  std::vector<std::vector<double>> demand_coeffs_;
+  std::vector<std::vector<double>> supply_coeffs_;
+  int order_;
+  double ridge_;
+};
+
+// Solves (X^T X + ridge I) w = X^T y via Gaussian elimination with partial
+// pivoting. Exposed for tests.
+std::vector<double> RidgeLeastSquares(const std::vector<std::vector<double>>& x,
+                                      const std::vector<double>& y,
+                                      double ridge);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_ARIMA_H_

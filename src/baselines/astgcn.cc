@@ -1,0 +1,132 @@
+#include "baselines/astgcn.h"
+
+#include "baselines/gcnn.h"
+#include "data/window.h"
+#include "nn/init.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+using tensor::Tensor;
+
+namespace {
+constexpr int kAttentionDim = 16;
+}  // namespace
+
+Astgcn::Astgcn(NeuralTrainOptions options, int recent_window,
+               int daily_window, int weekly_window, int hidden)
+    : NeuralPredictorBase(options),
+      recent_window_(recent_window),
+      daily_window_(daily_window),
+      weekly_window_(weekly_window),
+      hidden_(hidden) {
+  STGNN_CHECK_GT(recent_window, 0);
+  STGNN_CHECK_GT(daily_window, 0);
+  STGNN_CHECK_GT(weekly_window, 0);
+}
+
+int Astgcn::MinHistorySlots(const data::FlowDataset& flow) const {
+  return std::max(
+      {recent_window_, daily_window_ * flow.slots_per_day,
+       weekly_window_ * 7 * flow.slots_per_day});
+}
+
+void Astgcn::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  norm_adj_ = BuildNormalizedDistanceAdjacency(flow.stations, 2.0, 1.0);
+  branches_.clear();
+  const int widths[3] = {2 * recent_window_, 2 * daily_window_,
+                         2 * weekly_window_};
+  // Branch parameters are registered outside of nn::Module here; they are
+  // collected explicitly in Parameters().
+  for (int b = 0; b < 3; ++b) {
+    Branch branch;
+    branch.att_query = Variable::Parameter(
+        nn::XavierUniform2d(widths[b], kAttentionDim, rng));
+    branch.att_key = Variable::Parameter(
+        nn::XavierUniform2d(widths[b], kAttentionDim, rng));
+    branch.conv1 = std::make_unique<graph::GcnLayer>(widths[b], hidden_, rng);
+    branch.conv2 =
+        std::make_unique<graph::GcnLayer>(hidden_, hidden_ / 2, rng);
+    branches_.push_back(std::move(branch));
+  }
+  fusion_ = Variable::Parameter(Tensor::Ones({3, 1}));
+  head_ = std::make_unique<nn::Linear>(hidden_ / 2, 2, rng);
+}
+
+Variable Astgcn::BranchForward(const Branch& branch,
+                               const Tensor& features) const {
+  const Variable input = Variable::Constant(features);
+  // Spatial attention: S = softmax((X Q)(X K)^T), applied multiplicatively
+  // to the distance adjacency so attention can re-weight but not create
+  // long-range edges (the locality characteristic the paper discusses).
+  Variable query = ag::MatMul(input, branch.att_query);
+  Variable key = ag::MatMul(input, branch.att_key);
+  Variable scores = ag::MatMul(query, ag::Transpose(key));
+  Variable attention = ag::RowSoftmax(scores);
+  // Pass-through plus modulation: S ⊙ Â alone shrinks every weight below
+  // the softmax mass, starving the convolution; Â + S ⊙ Â keeps the fixed
+  // local structure and lets attention re-weight it.
+  Variable modulated = ag::Add(
+      Variable::Constant(norm_adj_),
+      ag::Mul(attention, Variable::Constant(norm_adj_)));
+  Variable h = branch.conv1->Forward(input, modulated);
+  h = branch.conv2->Forward(h, modulated);
+  return h;
+}
+
+Variable Astgcn::ForwardSlot(const data::FlowDataset& flow, int t,
+                             bool training) {
+  (void)training;
+  const int n = flow.num_stations;
+  const auto& norm = normalizer();
+
+  // Branch features: [n, 2*w] interleaved demand/supply windows.
+  auto window_features = [&](int width, auto slot_for) {
+    Tensor f({n, 2 * width});
+    for (int w = 0; w < width; ++w) {
+      const int slot = slot_for(w);
+      for (int i = 0; i < n; ++i) {
+        f.at(i, 2 * w) = norm.Normalize(flow.demand.at(slot, i));
+        f.at(i, 2 * w + 1) = norm.Normalize(flow.supply.at(slot, i));
+      }
+    }
+    return f;
+  };
+  const Tensor recent = window_features(
+      recent_window_, [&](int w) { return t - recent_window_ + w; });
+  const Tensor daily = window_features(daily_window_, [&](int w) {
+    return t - (daily_window_ - w) * flow.slots_per_day;
+  });
+  const Tensor weekly = window_features(weekly_window_, [&](int w) {
+    return t - (weekly_window_ - w) * 7 * flow.slots_per_day;
+  });
+
+  Variable h_recent = BranchForward(branches_[0], recent);
+  Variable h_daily = BranchForward(branches_[1], daily);
+  Variable h_weekly = BranchForward(branches_[2], weekly);
+
+  // Learnable scalar fusion of the three branches.
+  Variable w0 = ag::SliceRows(fusion_, 0, 1);  // [1,1]
+  Variable w1 = ag::SliceRows(fusion_, 1, 2);
+  Variable w2 = ag::SliceRows(fusion_, 2, 3);
+  Variable fused = ag::Add(
+      ag::Add(ag::Mul(h_recent, w0), ag::Mul(h_daily, w1)),
+      ag::Mul(h_weekly, w2));
+  return head_->Forward(fused);
+}
+
+std::vector<Variable> Astgcn::Parameters() const {
+  std::vector<Variable> params;
+  for (const Branch& branch : branches_) {
+    params.push_back(branch.att_query);
+    params.push_back(branch.att_key);
+    for (const auto& p : branch.conv1->parameters()) params.push_back(p);
+    for (const auto& p : branch.conv2->parameters()) params.push_back(p);
+  }
+  params.push_back(fusion_);
+  for (const auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace stgnn::baselines

@@ -1,0 +1,56 @@
+#ifndef STGNN_BASELINES_ASTGCN_H_
+#define STGNN_BASELINES_ASTGCN_H_
+
+#include "baselines/neural_base.h"
+#include "graph/layers.h"
+#include "nn/linear.h"
+
+namespace stgnn::baselines {
+
+// ASTGCN baseline (Guo et al., AAAI'19), re-implemented at this repo's
+// scale. Three independent temporal branches — recent (last r slots), daily
+// (same slot, last d days), weekly (same slot, w weeks back) — each runs a
+// spatial-attention-modulated graph convolution over the distance graph;
+// branch outputs are fused by learnable weights into the prediction head.
+// The locality focus comes from the fixed distance adjacency that the
+// learned spatial attention can only re-weight, not extend.
+class Astgcn : public NeuralPredictorBase {
+ public:
+  explicit Astgcn(NeuralTrainOptions options = NeuralTrainOptions(),
+                  int recent_window = 8, int daily_window = 3,
+                  int weekly_window = 1, int hidden = 48);
+
+  std::string name() const override { return "ASTGCN"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  // One temporal branch: spatial attention + GCN over the masked adjacency.
+  struct Branch {
+    autograd::Variable att_query;  // [f, a]
+    autograd::Variable att_key;    // [f, a]
+    std::unique_ptr<graph::GcnLayer> conv1;
+    std::unique_ptr<graph::GcnLayer> conv2;
+  };
+
+  autograd::Variable BranchForward(const Branch& branch,
+                                   const tensor::Tensor& features) const;
+
+  int recent_window_;
+  int daily_window_;
+  int weekly_window_;
+  int hidden_;
+  tensor::Tensor norm_adj_;      // constant distance adjacency (normalised)
+  std::vector<Branch> branches_;  // recent, daily, weekly
+  autograd::Variable fusion_;     // [3, 1] branch weights
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_ASTGCN_H_

@@ -1,0 +1,305 @@
+#include "baselines/gbrt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/window.h"
+
+namespace stgnn::baselines {
+
+using tensor::Tensor;
+
+GbrtRegressor::GbrtRegressor(GbrtConfig config)
+    : config_(config), rng_(config.seed) {
+  STGNN_CHECK_GT(config.num_trees, 0);
+  STGNN_CHECK_GT(config.max_depth, 0);
+  STGNN_CHECK_GT(config.learning_rate, 0.0);
+  STGNN_CHECK_GE(config.num_bins, 2);
+  STGNN_CHECK_LE(config.num_bins, 256);
+}
+
+float GbrtRegressor::Tree::Predict(const std::vector<float>& features) const {
+  int index = 0;
+  while (!nodes[index].leaf) {
+    const Node& node = nodes[index];
+    index = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes[index].value;
+}
+
+void GbrtRegressor::Fit(const std::vector<std::vector<float>>& features,
+                        const std::vector<float>& targets) {
+  STGNN_CHECK_EQ(features.size(), targets.size());
+  STGNN_CHECK(!features.empty());
+  const int rows = static_cast<int>(features.size());
+  const int cols = static_cast<int>(features[0].size());
+
+  // Quantile bin edges per feature.
+  bin_edges_.assign(cols, {});
+  std::vector<float> column(rows);
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < rows; ++r) column[r] = features[r][c];
+    std::sort(column.begin(), column.end());
+    auto& edges = bin_edges_[c];
+    for (int b = 1; b < config_.num_bins; ++b) {
+      const int pos = static_cast<int>(
+          static_cast<int64_t>(b) * (rows - 1) / config_.num_bins);
+      const float edge = column[pos];
+      if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+    }
+  }
+
+  // Bin all rows once: binned[c][r] = bin index of feature c in row r.
+  std::vector<std::vector<uint8_t>> binned(
+      cols, std::vector<uint8_t>(rows, 0));
+  for (int c = 0; c < cols; ++c) {
+    const auto& edges = bin_edges_[c];
+    for (int r = 0; r < rows; ++r) {
+      const float v = features[r][c];
+      const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+      binned[c][r] = static_cast<uint8_t>(it - edges.begin());
+    }
+  }
+
+  double mean = 0.0;
+  for (float t : targets) mean += t;
+  base_prediction_ = static_cast<float>(mean / rows);
+
+  std::vector<float> residuals(rows);
+  std::vector<float> predictions(rows, base_prediction_);
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  std::vector<int> all_rows(rows);
+  for (int r = 0; r < rows; ++r) all_rows[r] = r;
+
+  for (int tree_index = 0; tree_index < config_.num_trees; ++tree_index) {
+    for (int r = 0; r < rows; ++r) residuals[r] = targets[r] - predictions[r];
+    // Row subsampling (stochastic gradient boosting).
+    std::vector<int> sample;
+    if (config_.subsample < 1.0) {
+      sample.reserve(static_cast<size_t>(rows * config_.subsample) + 1);
+      for (int r = 0; r < rows; ++r) {
+        if (rng_.Bernoulli(config_.subsample)) sample.push_back(r);
+      }
+      if (sample.empty()) sample = all_rows;
+    } else {
+      sample = all_rows;
+    }
+    Tree tree = BuildTree(binned, residuals, sample);
+    // Update predictions on *all* rows.
+    for (int r = 0; r < rows; ++r) {
+      std::vector<float> row(cols);
+      for (int c = 0; c < cols; ++c) row[c] = features[r][c];
+      predictions[r] += tree.Predict(row);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+GbrtRegressor::Tree GbrtRegressor::BuildTree(
+    const std::vector<std::vector<uint8_t>>& binned,
+    const std::vector<float>& residuals,
+    const std::vector<int>& sample_indices) const {
+  Tree tree;
+  const int cols = static_cast<int>(binned.size());
+
+  struct WorkItem {
+    int node_index;
+    std::vector<int> samples;
+    int depth;
+  };
+  tree.nodes.push_back(Node{});
+  std::vector<WorkItem> stack;
+  stack.push_back({0, sample_indices, 0});
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes[item.node_index];
+
+    double sum = 0.0;
+    for (int r : item.samples) sum += residuals[r];
+    const int count = static_cast<int>(item.samples.size());
+    const double node_mean = count > 0 ? sum / count : 0.0;
+
+    // Leaf conditions.
+    if (item.depth >= config_.max_depth ||
+        count < 2 * config_.min_samples_leaf) {
+      node.leaf = true;
+      node.value = static_cast<float>(node_mean * config_.learning_rate);
+      continue;
+    }
+
+    // Histogram split search: maximise sum_L^2/n_L + sum_R^2/n_R.
+    double best_gain = 0.0;
+    int best_feature = -1;
+    int best_bin = -1;
+    const double parent_score = count > 0 ? sum * sum / count : 0.0;
+    std::vector<double> hist_sum;
+    std::vector<int> hist_count;
+    for (int c = 0; c < cols; ++c) {
+      const int bins = static_cast<int>(bin_edges_[c].size()) + 1;
+      if (bins < 2) continue;
+      hist_sum.assign(bins, 0.0);
+      hist_count.assign(bins, 0);
+      const auto& col_bins = binned[c];
+      for (int r : item.samples) {
+        const int b = col_bins[r];
+        hist_sum[b] += residuals[r];
+        ++hist_count[b];
+      }
+      double left_sum = 0.0;
+      int left_count = 0;
+      for (int b = 0; b + 1 < bins; ++b) {
+        left_sum += hist_sum[b];
+        left_count += hist_count[b];
+        const int right_count = count - left_count;
+        if (left_count < config_.min_samples_leaf ||
+            right_count < config_.min_samples_leaf) {
+          continue;
+        }
+        const double right_sum = sum - left_sum;
+        const double gain = left_sum * left_sum / left_count +
+                            right_sum * right_sum / right_count -
+                            parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = c;
+          best_bin = b;
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      node.leaf = true;
+      node.value = static_cast<float>(node_mean * config_.learning_rate);
+      continue;
+    }
+
+    std::vector<int> left_samples;
+    std::vector<int> right_samples;
+    const auto& col_bins = binned[best_feature];
+    for (int r : item.samples) {
+      (col_bins[r] <= best_bin ? left_samples : right_samples).push_back(r);
+    }
+    // push_back may reallocate and invalidate `node`: reserve the child
+    // indices first and write through the vector afterwards.
+    const int left_index = static_cast<int>(tree.nodes.size());
+    const int right_index = left_index + 1;
+    tree.nodes.push_back(Node{});
+    tree.nodes.push_back(Node{});
+    Node& parent = tree.nodes[item.node_index];
+    parent.leaf = false;
+    parent.feature = best_feature;
+    parent.threshold = bin_edges_[best_feature][best_bin];
+    parent.left = left_index;
+    parent.right = right_index;
+    stack.push_back({left_index, std::move(left_samples), item.depth + 1});
+    stack.push_back({right_index, std::move(right_samples), item.depth + 1});
+  }
+  return tree;
+}
+
+float GbrtRegressor::Predict(const std::vector<float>& features) const {
+  float out = base_prediction_;
+  for (const Tree& tree : trees_) out += tree.Predict(features);
+  return out;
+}
+
+XgboostPredictor::XgboostPredictor(GbrtConfig config, int recent_window,
+                                   int daily_window, int max_train_rows)
+    : config_(config),
+      recent_window_(recent_window),
+      daily_window_(daily_window),
+      max_train_rows_(max_train_rows) {
+  STGNN_CHECK_GT(recent_window, 0);
+  STGNN_CHECK_GT(daily_window, 0);
+}
+
+int XgboostPredictor::MinHistorySlots(const data::FlowDataset& flow) const {
+  return flow.FirstPredictableSlot(recent_window_, daily_window_);
+}
+
+std::vector<float> XgboostPredictor::FeaturesFor(const data::FlowDataset& flow,
+                                                 int t, int station) const {
+  std::vector<float> features;
+  features.reserve(2 * recent_window_ + 2 * daily_window_ + 5);
+  for (int lag = 1; lag <= recent_window_; ++lag) {
+    features.push_back(flow.demand.at(t - lag, station));
+  }
+  for (int lag = 1; lag <= recent_window_; ++lag) {
+    features.push_back(flow.supply.at(t - lag, station));
+  }
+  for (int day = 1; day <= daily_window_; ++day) {
+    features.push_back(flow.demand.at(t - day * flow.slots_per_day, station));
+  }
+  for (int day = 1; day <= daily_window_; ++day) {
+    features.push_back(flow.supply.at(t - day * flow.slots_per_day, station));
+  }
+  const double angle =
+      2.0 * M_PI * flow.SlotOfDay(t) / flow.slots_per_day;
+  features.push_back(static_cast<float>(std::sin(angle)));
+  features.push_back(static_cast<float>(std::cos(angle)));
+  const int day = t / flow.slots_per_day;
+  features.push_back(day % 7 >= 5 ? 1.0f : 0.0f);
+  features.push_back(station_mean_demand_[station]);
+  features.push_back(station_mean_supply_[station]);
+  return features;
+}
+
+void XgboostPredictor::Train(const data::FlowDataset& flow) {
+  const int n = flow.num_stations;
+  station_mean_demand_.assign(n, 0.0f);
+  station_mean_supply_.assign(n, 0.0f);
+  for (int t = 0; t < flow.train_end; ++t) {
+    for (int i = 0; i < n; ++i) {
+      station_mean_demand_[i] += flow.demand.at(t, i);
+      station_mean_supply_[i] += flow.supply.at(t, i);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    station_mean_demand_[i] /= flow.train_end;
+    station_mean_supply_[i] /= flow.train_end;
+  }
+
+  const int first = MinHistorySlots(flow);
+  STGNN_CHECK_LT(first, flow.train_end);
+  const int64_t total_rows =
+      static_cast<int64_t>(flow.train_end - first) * n;
+  const int stride =
+      std::max<int>(1, static_cast<int>(total_rows / max_train_rows_));
+
+  std::vector<std::vector<float>> features;
+  std::vector<float> demand_targets;
+  std::vector<float> supply_targets;
+  int64_t row = 0;
+  for (int t = first; t < flow.train_end; ++t) {
+    for (int i = 0; i < n; ++i, ++row) {
+      if (row % stride != 0) continue;
+      features.push_back(FeaturesFor(flow, t, i));
+      demand_targets.push_back(flow.demand.at(t, i));
+      supply_targets.push_back(flow.supply.at(t, i));
+    }
+  }
+  demand_model_ = std::make_unique<GbrtRegressor>(config_);
+  demand_model_->Fit(features, demand_targets);
+  GbrtConfig supply_config = config_;
+  supply_config.seed = config_.seed + 1;
+  supply_model_ = std::make_unique<GbrtRegressor>(supply_config);
+  supply_model_->Fit(features, supply_targets);
+}
+
+Tensor XgboostPredictor::Predict(const data::FlowDataset& flow, int t) {
+  STGNN_CHECK(demand_model_ != nullptr) << "Predict before Train";
+  STGNN_CHECK_GE(t, MinHistorySlots(flow));
+  const int n = flow.num_stations;
+  Tensor out({n, 2});
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float> features = FeaturesFor(flow, t, i);
+    out.at(i, 0) = std::max(0.0f, demand_model_->Predict(features));
+    out.at(i, 1) = std::max(0.0f, supply_model_->Predict(features));
+  }
+  return out;
+}
+
+}  // namespace stgnn::baselines

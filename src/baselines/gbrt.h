@@ -1,0 +1,97 @@
+#ifndef STGNN_BASELINES_GBRT_H_
+#define STGNN_BASELINES_GBRT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/predictor.h"
+
+namespace stgnn::baselines {
+
+// Gradient-boosted regression trees with squared loss and histogram splits —
+// the from-scratch stand-in for the paper's XGBoost baseline. Each boosting
+// round fits a depth-limited regression tree to the current residuals; leaf
+// values are shrunk by the learning rate.
+struct GbrtConfig {
+  int num_trees = 40;
+  int max_depth = 4;
+  double learning_rate = 0.1;
+  int min_samples_leaf = 16;
+  int num_bins = 32;      // quantile histogram bins per feature
+  double subsample = 0.8; // row subsample per tree
+  uint64_t seed = 1;
+};
+
+class GbrtRegressor {
+ public:
+  explicit GbrtRegressor(GbrtConfig config);
+
+  // Fits on a row-major feature matrix [rows x features] and target vector.
+  void Fit(const std::vector<std::vector<float>>& features,
+           const std::vector<float>& targets);
+
+  float Predict(const std::vector<float>& features) const;
+
+  int num_trees_built() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    int feature = -1;
+    float threshold = 0.0f;  // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;  // leaf prediction (already shrunk)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float Predict(const std::vector<float>& features) const;
+  };
+
+  Tree BuildTree(const std::vector<std::vector<uint8_t>>& binned,
+                 const std::vector<float>& residuals,
+                 const std::vector<int>& sample_indices) const;
+
+  GbrtConfig config_;
+  float base_prediction_ = 0.0f;
+  // Per feature: bin upper edges (bin b covers values <= edges[b]).
+  std::vector<std::vector<float>> bin_edges_;
+  std::vector<Tree> trees_;
+  mutable common::Rng rng_{1};
+};
+
+// The XGBoost-style baseline from the paper's Table I: one GbrtRegressor for
+// demand, one for supply. Features per (station, slot): demand/supply of the
+// last `recent_window` slots, demand/supply at the same slot of the last
+// `daily_window` days, time-of-day encoding, weekend flag, and per-station
+// training means.
+class XgboostPredictor : public eval::Predictor {
+ public:
+  explicit XgboostPredictor(GbrtConfig config = GbrtConfig(),
+                            int recent_window = 8, int daily_window = 7,
+                            int max_train_rows = 20000);
+
+  std::string name() const override { return "XGBoost"; }
+  void Train(const data::FlowDataset& flow) override;
+  tensor::Tensor Predict(const data::FlowDataset& flow, int t) override;
+
+  int MinHistorySlots(const data::FlowDataset& flow) const;
+
+ private:
+  std::vector<float> FeaturesFor(const data::FlowDataset& flow, int t,
+                                 int station) const;
+
+  GbrtConfig config_;
+  int recent_window_;
+  int daily_window_;
+  int max_train_rows_;
+  std::vector<float> station_mean_demand_;
+  std::vector<float> station_mean_supply_;
+  std::unique_ptr<GbrtRegressor> demand_model_;
+  std::unique_ptr<GbrtRegressor> supply_model_;
+};
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_GBRT_H_

@@ -1,0 +1,69 @@
+#include "baselines/gcnn.h"
+
+#include "baselines/window_features.h"
+#include "graph/graph.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Tensor BuildNormalizedDistanceAdjacency(
+    const std::vector<data::Station>& stations, double threshold_km,
+    double sigma) {
+  std::vector<double> lat;
+  std::vector<double> lon;
+  lat.reserve(stations.size());
+  lon.reserve(stations.size());
+  for (const auto& s : stations) {
+    lat.push_back(s.lat);
+    lon.push_back(s.lon);
+  }
+  const Tensor dist = graph::HaversineDistanceMatrix(lat, lon);
+  graph::Graph g = graph::DistanceThresholdGraph(dist, threshold_km, sigma);
+  if (g.NumEdges() == 0) {
+    g = graph::KnnGraph(dist, /*k=*/4, sigma);
+  }
+  return graph::NormalizedAdjacency(g.weights());
+}
+
+Gcnn::Gcnn(NeuralTrainOptions options, int recent_window, int daily_window,
+           int hidden, double distance_threshold_km, double kernel_sigma)
+    : NeuralPredictorBase(options),
+      recent_window_(recent_window),
+      daily_window_(daily_window),
+      hidden_(hidden),
+      distance_threshold_km_(distance_threshold_km),
+      kernel_sigma_(kernel_sigma) {}
+
+int Gcnn::MinHistorySlots(const data::FlowDataset& flow) const {
+  return flow.FirstPredictableSlot(recent_window_, daily_window_);
+}
+
+void Gcnn::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  norm_adj_ = Variable::Constant(BuildNormalizedDistanceAdjacency(
+      flow.stations, distance_threshold_km_, kernel_sigma_));
+  const int input = WindowFeatureDim(recent_window_, daily_window_);
+  layer1_ = std::make_unique<graph::GcnLayer>(input, hidden_, rng);
+  layer2_ = std::make_unique<graph::GcnLayer>(hidden_, hidden_ / 2, rng);
+  head_ = std::make_unique<nn::Linear>(hidden_ / 2, 2, rng);
+}
+
+Variable Gcnn::ForwardSlot(const data::FlowDataset& flow, int t,
+                           bool training) {
+  (void)training;
+  const Tensor features = BuildWindowFeatures(flow, t, recent_window_,
+                                              daily_window_, normalizer());
+  Variable h = layer1_->Forward(Variable::Constant(features), norm_adj_);
+  h = layer2_->Forward(h, norm_adj_);
+  return head_->Forward(h);
+}
+
+std::vector<Variable> Gcnn::Parameters() const {
+  std::vector<Variable> params = layer1_->parameters();
+  for (const auto& p : layer2_->parameters()) params.push_back(p);
+  for (const auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace stgnn::baselines

@@ -1,0 +1,48 @@
+#ifndef STGNN_BASELINES_GCNN_H_
+#define STGNN_BASELINES_GCNN_H_
+
+#include "baselines/neural_base.h"
+#include "graph/layers.h"
+#include "nn/linear.h"
+
+namespace stgnn::baselines {
+
+// Conventional graph convolutional baseline (Lin et al., station-level GCN):
+// two GCN layers over the distance-threshold graph, then a linear head.
+// Only link (distance) correlations between stations are modelled.
+class Gcnn : public NeuralPredictorBase {
+ public:
+  explicit Gcnn(NeuralTrainOptions options = NeuralTrainOptions(),
+                int recent_window = 8, int daily_window = 7, int hidden = 48,
+                double distance_threshold_km = 2.0, double kernel_sigma = 1.0);
+
+  std::string name() const override { return "GCNN"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int recent_window_;
+  int daily_window_;
+  int hidden_;
+  double distance_threshold_km_;
+  double kernel_sigma_;
+  autograd::Variable norm_adj_;  // constant normalised adjacency
+  std::unique_ptr<graph::GcnLayer> layer1_;
+  std::unique_ptr<graph::GcnLayer> layer2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// Builds the constant normalised distance adjacency used by several
+// baselines; falls back to a k-NN graph when the threshold graph is empty.
+tensor::Tensor BuildNormalizedDistanceAdjacency(
+    const std::vector<data::Station>& stations, double threshold_km,
+    double sigma);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_GCNN_H_

@@ -1,0 +1,51 @@
+#include "baselines/ha.h"
+
+namespace stgnn::baselines {
+
+using tensor::Tensor;
+
+void HistoricalAverage::Train(const data::FlowDataset& flow) {
+  const int n = flow.num_stations;
+  slots_per_day_ = flow.slots_per_day;
+  for (int w = 0; w < 2; ++w) {
+    mean_demand_[w] = Tensor({slots_per_day_, n});
+    mean_supply_[w] = Tensor({slots_per_day_, n});
+  }
+  std::vector<std::vector<int>> counts(2, std::vector<int>(slots_per_day_, 0));
+  for (int t = 0; t < flow.train_end; ++t) {
+    const int day = t / slots_per_day_;
+    const int w = day % 7 >= 5 ? 1 : 0;
+    const int slot = flow.SlotOfDay(t);
+    ++counts[w][slot];
+    for (int i = 0; i < n; ++i) {
+      mean_demand_[w].at(slot, i) += flow.demand.at(t, i);
+      mean_supply_[w].at(slot, i) += flow.supply.at(t, i);
+    }
+  }
+  for (int w = 0; w < 2; ++w) {
+    for (int slot = 0; slot < slots_per_day_; ++slot) {
+      const int count = counts[w][slot];
+      if (count == 0) continue;
+      for (int i = 0; i < n; ++i) {
+        mean_demand_[w].at(slot, i) /= count;
+        mean_supply_[w].at(slot, i) /= count;
+      }
+    }
+  }
+}
+
+Tensor HistoricalAverage::Predict(const data::FlowDataset& flow, int t) {
+  STGNN_CHECK_GT(slots_per_day_, 0) << "Predict before Train";
+  const int n = flow.num_stations;
+  const int day = t / slots_per_day_;
+  const int w = day % 7 >= 5 ? 1 : 0;
+  const int slot = flow.SlotOfDay(t);
+  Tensor out({n, 2});
+  for (int i = 0; i < n; ++i) {
+    out.at(i, 0) = mean_demand_[w].at(slot, i);
+    out.at(i, 1) = mean_supply_[w].at(slot, i);
+  }
+  return out;
+}
+
+}  // namespace stgnn::baselines

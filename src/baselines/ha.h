@@ -1,0 +1,29 @@
+#ifndef STGNN_BASELINES_HA_H_
+#define STGNN_BASELINES_HA_H_
+
+#include "eval/predictor.h"
+
+namespace stgnn::baselines {
+
+// Historical Average: predicts the mean of a station's training demand and
+// supply at the same slot-of-day (weekday/weekend handled separately, which
+// is the usual strong form of this baseline).
+class HistoricalAverage : public eval::Predictor {
+ public:
+  HistoricalAverage() = default;
+
+  std::string name() const override { return "HA"; }
+  void Train(const data::FlowDataset& flow) override;
+  tensor::Tensor Predict(const data::FlowDataset& flow, int t) override;
+
+ private:
+  // [2][slots_per_day, n] mean demand and supply; index 0 = weekday,
+  // 1 = weekend.
+  tensor::Tensor mean_demand_[2];
+  tensor::Tensor mean_supply_[2];
+  int slots_per_day_ = 0;
+};
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_HA_H_

@@ -1,0 +1,141 @@
+#include "baselines/mgnn.h"
+
+#include <cmath>
+
+#include "baselines/gcnn.h"
+#include "baselines/window_features.h"
+#include "graph/graph.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+using tensor::Tensor;
+
+Tensor DemandCorrelationMatrix(const data::FlowDataset& flow) {
+  const int n = flow.num_stations;
+  const int t_end = flow.train_end;
+  STGNN_CHECK_GT(t_end, 1);
+  std::vector<double> mean(n, 0.0);
+  std::vector<double> stddev(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < t_end; ++t) mean[i] += flow.demand.at(t, i);
+    mean[i] /= t_end;
+    for (int t = 0; t < t_end; ++t) {
+      const double d = flow.demand.at(t, i) - mean[i];
+      stddev[i] += d * d;
+    }
+    stddev[i] = std::sqrt(stddev[i] / t_end);
+  }
+  Tensor corr({n, n});
+  for (int i = 0; i < n; ++i) {
+    corr.at(i, i) = 1.0f;
+    for (int j = i + 1; j < n; ++j) {
+      if (stddev[i] < 1e-9 || stddev[j] < 1e-9) continue;
+      double cov = 0.0;
+      for (int t = 0; t < t_end; ++t) {
+        cov += (flow.demand.at(t, i) - mean[i]) *
+               (flow.demand.at(t, j) - mean[j]);
+      }
+      cov /= t_end;
+      const float r = static_cast<float>(cov / (stddev[i] * stddev[j]));
+      corr.at(i, j) = r;
+      corr.at(j, i) = r;
+    }
+  }
+  return corr;
+}
+
+Mgnn::Mgnn(NeuralTrainOptions options, int recent_window, int daily_window,
+           int hidden, double correlation_threshold)
+    : NeuralPredictorBase(options),
+      recent_window_(recent_window),
+      daily_window_(daily_window),
+      hidden_(hidden),
+      correlation_threshold_(correlation_threshold) {}
+
+int Mgnn::MinHistorySlots(const data::FlowDataset& flow) const {
+  return flow.FirstPredictableSlot(recent_window_, daily_window_);
+}
+
+void Mgnn::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  const int n = flow.num_stations;
+  norm_adjs_.clear();
+  layer1_.clear();
+  layer2_.clear();
+
+  // Graph 1: geographic distance.
+  norm_adjs_.push_back(Variable::Constant(
+      BuildNormalizedDistanceAdjacency(flow.stations, 2.0, 1.0)));
+
+  // Graph 2: aggregate training flow (symmetrised outflow totals).
+  Tensor flow_adj({n, n});
+  for (int t = 0; t < flow.train_end; ++t) {
+    const auto& out = flow.outflow[t].data();
+    auto& acc = flow_adj.mutable_data();
+    for (size_t idx = 0; idx < acc.size(); ++idx) acc[idx] += out[idx];
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const float sym = flow_adj.at(i, j) + flow_adj.at(j, i);
+      flow_adj.at(i, j) = sym;
+      flow_adj.at(j, i) = sym;
+    }
+    flow_adj.at(i, i) = 0.0f;
+  }
+  // Scale so the adjacency is O(1) before normalisation.
+  const float max_flow = std::max(1.0f, tensor::MaxAll(flow_adj));
+  flow_adj = tensor::MulScalar(flow_adj, 1.0f / max_flow);
+  norm_adjs_.push_back(
+      Variable::Constant(graph::NormalizedAdjacency(flow_adj)));
+
+  // Graph 3: demand-pattern correlation above threshold.
+  const Tensor corr = DemandCorrelationMatrix(flow);
+  Tensor corr_adj({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && corr.at(i, j) > correlation_threshold_) {
+        corr_adj.at(i, j) = corr.at(i, j);
+      }
+    }
+  }
+  norm_adjs_.push_back(
+      Variable::Constant(graph::NormalizedAdjacency(corr_adj)));
+
+  const int input = WindowFeatureDim(recent_window_, daily_window_);
+  for (size_t g = 0; g < norm_adjs_.size(); ++g) {
+    layer1_.push_back(std::make_unique<graph::GcnLayer>(input, hidden_, rng));
+    layer2_.push_back(
+        std::make_unique<graph::GcnLayer>(hidden_, hidden_ / 2, rng));
+  }
+  head_ = std::make_unique<nn::Linear>(hidden_ / 2, 2, rng);
+}
+
+Variable Mgnn::ForwardSlot(const data::FlowDataset& flow, int t,
+                           bool training) {
+  (void)training;
+  const Tensor features = BuildWindowFeatures(flow, t, recent_window_,
+                                              daily_window_, normalizer());
+  const Variable input = Variable::Constant(features);
+  Variable fused;
+  for (size_t g = 0; g < norm_adjs_.size(); ++g) {
+    Variable h = layer1_[g]->Forward(input, norm_adjs_[g]);
+    h = layer2_[g]->Forward(h, norm_adjs_[g]);
+    fused = fused.defined() ? ag::Add(fused, h) : h;
+  }
+  return head_->Forward(fused);
+}
+
+std::vector<Variable> Mgnn::Parameters() const {
+  std::vector<Variable> params;
+  for (const auto& layer : layer1_) {
+    for (const auto& p : layer->parameters()) params.push_back(p);
+  }
+  for (const auto& layer : layer2_) {
+    for (const auto& p : layer->parameters()) params.push_back(p);
+  }
+  for (const auto& p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace stgnn::baselines

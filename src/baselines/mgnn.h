@@ -1,0 +1,46 @@
+#ifndef STGNN_BASELINES_MGNN_H_
+#define STGNN_BASELINES_MGNN_H_
+
+#include "baselines/neural_base.h"
+#include "graph/layers.h"
+#include "nn/linear.h"
+
+namespace stgnn::baselines {
+
+// Multi-graph neural network baseline (Chai et al.): graph convolutions over
+// three station graphs — geographic distance, aggregate training flow, and
+// demand-pattern correlation — fused by summation, without graph attention.
+class Mgnn : public NeuralPredictorBase {
+ public:
+  explicit Mgnn(NeuralTrainOptions options = NeuralTrainOptions(),
+                int recent_window = 8, int daily_window = 7, int hidden = 48,
+                double correlation_threshold = 0.5);
+
+  std::string name() const override { return "MGNN"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int recent_window_;
+  int daily_window_;
+  int hidden_;
+  double correlation_threshold_;
+  std::vector<autograd::Variable> norm_adjs_;  // one per graph
+  // Per graph, two stacked GCN layers.
+  std::vector<std::unique_ptr<graph::GcnLayer>> layer1_;
+  std::vector<std::unique_ptr<graph::GcnLayer>> layer2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// Pearson correlation matrix of training demand series between stations.
+// Exposed for tests.
+tensor::Tensor DemandCorrelationMatrix(const data::FlowDataset& flow);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_MGNN_H_

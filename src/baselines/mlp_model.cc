@@ -1,0 +1,39 @@
+#include "baselines/mlp_model.h"
+
+#include "baselines/window_features.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+
+MlpModel::MlpModel(NeuralTrainOptions options, int recent_window,
+                   int daily_window, int hidden)
+    : NeuralPredictorBase(options),
+      recent_window_(recent_window),
+      daily_window_(daily_window),
+      hidden_(hidden) {}
+
+int MlpModel::MinHistorySlots(const data::FlowDataset& flow) const {
+  return flow.FirstPredictableSlot(recent_window_, daily_window_);
+}
+
+void MlpModel::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  (void)flow;
+  const int input = WindowFeatureDim(recent_window_, daily_window_);
+  network_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{input, hidden_, hidden_ / 2, 2}, rng);
+}
+
+Variable MlpModel::ForwardSlot(const data::FlowDataset& flow, int t,
+                               bool training) {
+  (void)training;
+  const tensor::Tensor features = BuildWindowFeatures(
+      flow, t, recent_window_, daily_window_, normalizer());
+  return network_->Forward(Variable::Constant(features));
+}
+
+std::vector<Variable> MlpModel::Parameters() const {
+  return network_->parameters();
+}
+
+}  // namespace stgnn::baselines

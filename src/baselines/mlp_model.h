@@ -1,0 +1,36 @@
+#ifndef STGNN_BASELINES_MLP_MODEL_H_
+#define STGNN_BASELINES_MLP_MODEL_H_
+
+#include "baselines/neural_base.h"
+#include "nn/linear.h"
+
+namespace stgnn::baselines {
+
+// Three-layer fully connected network on per-station window features, the
+// paper's MLP baseline. It models temporal history only; stations are
+// processed independently (rows of the feature matrix).
+class MlpModel : public NeuralPredictorBase {
+ public:
+  explicit MlpModel(NeuralTrainOptions options = NeuralTrainOptions(),
+                    int recent_window = 8, int daily_window = 7,
+                    int hidden = 64);
+
+  std::string name() const override { return "MLP"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int recent_window_;
+  int daily_window_;
+  int hidden_;
+  std::unique_ptr<nn::Mlp> network_;
+};
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_MLP_MODEL_H_

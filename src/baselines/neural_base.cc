@@ -1,0 +1,124 @@
+#include "baselines/neural_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "data/window.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+
+NeuralPredictorBase::NeuralPredictorBase(NeuralTrainOptions options)
+    : options_(options) {}
+
+NeuralPredictorBase::~NeuralPredictorBase() = default;
+
+void NeuralPredictorBase::Train(const data::FlowDataset& flow) {
+  common::Rng rng(options_.seed);
+  dropout_rng_ = std::make_unique<common::Rng>(rng.NextUint64());
+  normalizer_ = std::make_unique<data::MinMaxNormalizer>(
+      data::MinMaxNormalizer::Fit(flow.demand, flow.supply, flow.train_end));
+  BuildModel(flow, &rng);
+  trained_ = true;  // ForwardSlot is callable from here on
+
+  const int first = MinHistorySlots(flow);
+  STGNN_CHECK_LT(first, flow.train_end)
+      << "not enough training history for " << name();
+  std::vector<int> train_slots;
+  for (int t = first; t < flow.train_end; ++t) train_slots.push_back(t);
+
+  // Validation snapshot selection, matching the STGNN trainer.
+  std::vector<int> val_slots;
+  for (int t = std::max(first, flow.train_end); t < flow.val_end; t += 4) {
+    val_slots.push_back(t);
+  }
+  auto validation_rmse = [&]() {
+    if (val_slots.empty()) return 0.0;
+    double sum_sq = 0.0;
+    int64_t count = 0;
+    for (int t : val_slots) {
+      const tensor::Tensor pred =
+          ForwardSlot(flow, t, /*training=*/false).value();
+      const tensor::Tensor target =
+          normalizer_->Normalize(data::TargetAt(flow, t));
+      for (int64_t i = 0; i < pred.size(); ++i) {
+        const double err = pred.flat(i) - target.flat(i);
+        sum_sq += err * err;
+        ++count;
+      }
+    }
+    return std::sqrt(sum_sq / count);
+  };
+  double best_val = 1e30;
+  std::vector<tensor::Tensor> best_params;
+
+  nn::Adam optimizer(Parameters(), options_.learning_rate);
+  const int samples_per_epoch =
+      options_.max_samples_per_epoch > 0
+          ? std::min<int>(options_.max_samples_per_epoch,
+                          static_cast<int>(train_slots.size()))
+          : static_cast<int>(train_slots.size());
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    if (epoch == options_.epochs * 3 / 5 ||
+        epoch == options_.epochs * 17 / 20) {
+      optimizer.set_learning_rate(optimizer.learning_rate() * 0.5f);
+    }
+    const std::vector<int> perm =
+        rng.Permutation(static_cast<int>(train_slots.size()));
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int begin = 0; begin < samples_per_epoch;
+         begin += options_.batch_size) {
+      const int end = std::min(begin + options_.batch_size, samples_per_epoch);
+      Variable batch_loss;
+      for (int s = begin; s < end; ++s) {
+        const int t = train_slots[perm[s]];
+        Variable prediction = ForwardSlot(flow, t, /*training=*/true);
+        Variable target = Variable::Constant(
+            normalizer_->Normalize(data::TargetAt(flow, t)));
+        Variable loss = nn::JointDemandSupplyLoss(prediction, target);
+        batch_loss = batch_loss.defined() ? ag::Add(batch_loss, loss) : loss;
+      }
+      batch_loss = ag::MulScalar(batch_loss, 1.0f / (end - begin));
+      for (auto& param : Parameters()) param.ZeroGrad();
+      batch_loss.Backward();
+      nn::ClipGradNorm(Parameters(), options_.grad_clip_norm);
+      optimizer.Step();
+      epoch_loss += batch_loss.value().item();
+      ++batches;
+    }
+    const double val = validation_rmse();
+    if (val < best_val) {
+      best_val = val;
+      best_params.clear();
+      for (const auto& p : Parameters()) best_params.push_back(p.value());
+    }
+    if (options_.verbose && batches > 0) {
+      std::fprintf(stderr, "[%s] epoch %d/%d loss %.4f val %.4f\n",
+                   name().c_str(), epoch + 1, options_.epochs,
+                   epoch_loss / batches, val);
+    }
+  }
+  if (!best_params.empty()) {
+    auto params = Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].SetValue(best_params[i]);
+    }
+  }
+}
+
+tensor::Tensor NeuralPredictorBase::Predict(const data::FlowDataset& flow,
+                                            int t) {
+  STGNN_CHECK(trained_) << "Predict before Train";
+  STGNN_CHECK_GE(t, MinHistorySlots(flow));
+  const Variable prediction = ForwardSlot(flow, t, /*training=*/false);
+  return tensor::Relu(normalizer_->Denormalize(prediction.value()));
+}
+
+}  // namespace stgnn::baselines

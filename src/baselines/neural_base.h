@@ -1,0 +1,65 @@
+#ifndef STGNN_BASELINES_NEURAL_BASE_H_
+#define STGNN_BASELINES_NEURAL_BASE_H_
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "eval/predictor.h"
+
+namespace stgnn::baselines {
+
+// Training hyperparameters shared by the neural baselines.
+struct NeuralTrainOptions {
+  int epochs = 8;
+  int batch_size = 32;
+  // Caps samples per epoch (0 = all); keeps CPU training bounded.
+  int max_samples_per_epoch = 256;
+  float learning_rate = 0.005f;
+  float grad_clip_norm = 5.0f;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+// Common trainer for the deep baselines: subclasses build their network in
+// BuildModel and map one slot to a normalised [n, 2] prediction in
+// ForwardSlot; this base runs the Adam loop on the paper's joint loss and
+// handles normalisation on both sides.
+class NeuralPredictorBase : public eval::Predictor {
+ public:
+  explicit NeuralPredictorBase(NeuralTrainOptions options);
+  ~NeuralPredictorBase() override;
+
+  void Train(const data::FlowDataset& flow) final;
+  tensor::Tensor Predict(const data::FlowDataset& flow, int t) final;
+
+  // First slot the model can predict (enough history).
+  virtual int MinHistorySlots(const data::FlowDataset& flow) const = 0;
+
+ protected:
+  // Constructs parameters for a dataset with n stations.
+  virtual void BuildModel(const data::FlowDataset& flow,
+                          common::Rng* rng) = 0;
+  // Normalised [n, 2] prediction for slot t.
+  virtual autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                         bool training) = 0;
+  // All trainable parameters of the built model.
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+
+  const data::MinMaxNormalizer& normalizer() const {
+    STGNN_CHECK(normalizer_ != nullptr);
+    return *normalizer_;
+  }
+  common::Rng* dropout_rng() const { return dropout_rng_.get(); }
+  const NeuralTrainOptions& options() const { return options_; }
+
+ private:
+  NeuralTrainOptions options_;
+  std::unique_ptr<data::MinMaxNormalizer> normalizer_;
+  std::unique_ptr<common::Rng> dropout_rng_;
+  bool trained_ = false;
+};
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_NEURAL_BASE_H_

@@ -1,0 +1,91 @@
+#include "baselines/recurrent_models.h"
+
+namespace stgnn::baselines {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+std::vector<Variable> BuildSequenceInputs(
+    const data::FlowDataset& flow, int t, int window,
+    const data::MinMaxNormalizer& normalizer) {
+  STGNN_CHECK_GE(t - window, 0);
+  const int n = flow.num_stations;
+  std::vector<Variable> sequence;
+  sequence.reserve(window);
+  for (int step = 0; step < window; ++step) {
+    const int slot = t - window + step;
+    Tensor input({n, 2});
+    for (int i = 0; i < n; ++i) {
+      input.at(i, 0) = normalizer.Normalize(flow.demand.at(slot, i));
+      input.at(i, 1) = normalizer.Normalize(flow.supply.at(slot, i));
+    }
+    sequence.push_back(Variable::Constant(std::move(input)));
+  }
+  return sequence;
+}
+
+RnnModel::RnnModel(NeuralTrainOptions options, int window, int hidden)
+    : NeuralPredictorBase(options), window_(window), hidden_(hidden) {
+  STGNN_CHECK_GT(window, 0);
+}
+
+int RnnModel::MinHistorySlots(const data::FlowDataset& flow) const {
+  (void)flow;
+  return window_;
+}
+
+void RnnModel::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  (void)flow;
+  cell_ = std::make_unique<nn::RnnCell>(2, hidden_, rng);
+  head_ = std::make_unique<nn::Linear>(hidden_, 2, rng);
+}
+
+Variable RnnModel::ForwardSlot(const data::FlowDataset& flow, int t,
+                               bool training) {
+  (void)training;
+  const std::vector<Variable> sequence =
+      BuildSequenceInputs(flow, t, window_, normalizer());
+  const Variable hidden = nn::RunRnn(*cell_, sequence, flow.num_stations);
+  return head_->Forward(hidden);
+}
+
+std::vector<Variable> RnnModel::Parameters() const {
+  std::vector<Variable> params = cell_->parameters();
+  const auto head_params = head_->parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+LstmModel::LstmModel(NeuralTrainOptions options, int window, int hidden)
+    : NeuralPredictorBase(options), window_(window), hidden_(hidden) {
+  STGNN_CHECK_GT(window, 0);
+}
+
+int LstmModel::MinHistorySlots(const data::FlowDataset& flow) const {
+  (void)flow;
+  return window_;
+}
+
+void LstmModel::BuildModel(const data::FlowDataset& flow, common::Rng* rng) {
+  (void)flow;
+  cell_ = std::make_unique<nn::LstmCell>(2, hidden_, rng);
+  head_ = std::make_unique<nn::Linear>(hidden_, 2, rng);
+}
+
+Variable LstmModel::ForwardSlot(const data::FlowDataset& flow, int t,
+                                bool training) {
+  (void)training;
+  const std::vector<Variable> sequence =
+      BuildSequenceInputs(flow, t, window_, normalizer());
+  const Variable hidden = nn::RunLstm(*cell_, sequence, flow.num_stations);
+  return head_->Forward(hidden);
+}
+
+std::vector<Variable> LstmModel::Parameters() const {
+  std::vector<Variable> params = cell_->parameters();
+  const auto head_params = head_->parameters();
+  params.insert(params.end(), head_params.begin(), head_params.end());
+  return params;
+}
+
+}  // namespace stgnn::baselines

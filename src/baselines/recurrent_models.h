@@ -1,0 +1,65 @@
+#ifndef STGNN_BASELINES_RECURRENT_MODELS_H_
+#define STGNN_BASELINES_RECURRENT_MODELS_H_
+
+#include "baselines/neural_base.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+
+namespace stgnn::baselines {
+
+// Vanilla RNN baseline: each station's (demand, supply) sequence over the
+// last `window` slots is run through an Elman cell; the final hidden state
+// feeds a linear head. Stations form the batch dimension — no spatial
+// dependency is modelled, matching the paper's characterisation.
+class RnnModel : public NeuralPredictorBase {
+ public:
+  explicit RnnModel(NeuralTrainOptions options = NeuralTrainOptions(),
+                    int window = 24, int hidden = 32);
+
+  std::string name() const override { return "RNN"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int window_;
+  int hidden_;
+  std::unique_ptr<nn::RnnCell> cell_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// LSTM baseline, same shape as RnnModel but with an LSTM cell.
+class LstmModel : public NeuralPredictorBase {
+ public:
+  explicit LstmModel(NeuralTrainOptions options = NeuralTrainOptions(),
+                     int window = 24, int hidden = 32);
+
+  std::string name() const override { return "LSTM"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int window_;
+  int hidden_;
+  std::unique_ptr<nn::LstmCell> cell_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// Builds the [window] sequence of [n, 2] normalised (demand, supply) inputs
+// ending just before slot t. Shared by both recurrent baselines.
+std::vector<autograd::Variable> BuildSequenceInputs(
+    const data::FlowDataset& flow, int t, int window,
+    const data::MinMaxNormalizer& normalizer);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_RECURRENT_MODELS_H_

@@ -1,0 +1,51 @@
+#ifndef STGNN_BASELINES_STSGCN_H_
+#define STGNN_BASELINES_STSGCN_H_
+
+#include "baselines/neural_base.h"
+#include "graph/layers.h"
+#include "nn/linear.h"
+
+namespace stgnn::baselines {
+
+// STSGCN baseline (Song et al., AAAI'20): localized spatial-temporal
+// synchronous graph convolution. The last `temporal_window` slots are tied
+// into one block graph of size (w*n x w*n): spatial (distance) edges inside
+// each slot block plus identity edges between the same station at
+// consecutive slots. Graph convolutions over this block graph capture
+// *localized* joint ST correlations; the middle block's embedding is cropped
+// out and combined with a daily-context window for prediction.
+class Stsgcn : public NeuralPredictorBase {
+ public:
+  explicit Stsgcn(NeuralTrainOptions options = NeuralTrainOptions(),
+                  int temporal_window = 3, int daily_window = 7,
+                  int hidden = 48);
+
+  std::string name() const override { return "STSGCN"; }
+  int MinHistorySlots(const data::FlowDataset& flow) const override;
+
+ protected:
+  void BuildModel(const data::FlowDataset& flow, common::Rng* rng) override;
+  autograd::Variable ForwardSlot(const data::FlowDataset& flow, int t,
+                                 bool training) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  int temporal_window_;
+  int daily_window_;
+  int hidden_;
+  autograd::Variable block_adj_;  // [w*n, w*n] normalised block adjacency
+  std::unique_ptr<graph::GcnLayer> conv1_;
+  std::unique_ptr<graph::GcnLayer> conv2_;
+  std::unique_ptr<nn::Linear> daily_proj_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+// Builds the localized spatial-temporal block adjacency from a spatial
+// adjacency: `window` copies on the diagonal plus identity links between
+// consecutive copies. Exposed for tests.
+tensor::Tensor BuildSpatialTemporalBlockAdjacency(
+    const tensor::Tensor& spatial_adjacency, int window);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_STSGCN_H_

@@ -1,0 +1,47 @@
+#include "baselines/window_features.h"
+
+#include <cmath>
+
+#include "data/window.h"
+
+namespace stgnn::baselines {
+
+using tensor::Tensor;
+
+int WindowFeatureDim(int recent, int daily) {
+  return 2 * recent + 2 * daily + 3;
+}
+
+Tensor BuildWindowFeatures(const data::FlowDataset& flow, int t, int recent,
+                           int daily,
+                           const data::MinMaxNormalizer& normalizer) {
+  STGNN_CHECK_GE(t, flow.FirstPredictableSlot(recent, daily));
+  const int n = flow.num_stations;
+  const Tensor demand_recent =
+      normalizer.Normalize(data::DemandWindow(flow, t, recent));
+  const Tensor supply_recent =
+      normalizer.Normalize(data::SupplyWindow(flow, t, recent));
+  const Tensor demand_daily =
+      normalizer.Normalize(data::DemandDaily(flow, t, daily));
+  const Tensor supply_daily =
+      normalizer.Normalize(data::SupplyDaily(flow, t, daily));
+
+  Tensor out({n, WindowFeatureDim(recent, daily)});
+  const double angle = 2.0 * M_PI * flow.SlotOfDay(t) / flow.slots_per_day;
+  const float time_sin = static_cast<float>(std::sin(angle));
+  const float time_cos = static_cast<float>(std::cos(angle));
+  const float weekend = (t / flow.slots_per_day) % 7 >= 5 ? 1.0f : 0.0f;
+  for (int i = 0; i < n; ++i) {
+    int c = 0;
+    for (int w = 0; w < recent; ++w) out.at(i, c++) = demand_recent.at(i, w);
+    for (int w = 0; w < recent; ++w) out.at(i, c++) = supply_recent.at(i, w);
+    for (int w = 0; w < daily; ++w) out.at(i, c++) = demand_daily.at(i, w);
+    for (int w = 0; w < daily; ++w) out.at(i, c++) = supply_daily.at(i, w);
+    out.at(i, c++) = time_sin;
+    out.at(i, c++) = time_cos;
+    out.at(i, c++) = weekend;
+  }
+  return out;
+}
+
+}  // namespace stgnn::baselines

@@ -1,0 +1,23 @@
+#ifndef STGNN_BASELINES_WINDOW_FEATURES_H_
+#define STGNN_BASELINES_WINDOW_FEATURES_H_
+
+#include "data/flow_dataset.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::baselines {
+
+// Per-station feature matrix for slot t, shared by the deep baselines:
+// [n, 2*recent + 2*daily + 3] = normalised demand/supply of the last
+// `recent` slots, normalised demand/supply at the same slot of the last
+// `daily` days, and (sin, cos, weekend) time encodings broadcast to all
+// stations. `normalizer` must have been fitted on the training split.
+tensor::Tensor BuildWindowFeatures(const data::FlowDataset& flow, int t,
+                                   int recent, int daily,
+                                   const data::MinMaxNormalizer& normalizer);
+
+// Number of columns BuildWindowFeatures produces.
+int WindowFeatureDim(int recent, int daily);
+
+}  // namespace stgnn::baselines
+
+#endif  // STGNN_BASELINES_WINDOW_FEATURES_H_

@@ -1,0 +1,48 @@
+#ifndef STGNN_COMMON_CHECK_H_
+#define STGNN_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace stgnn::internal {
+
+// Accumulates a failure message and aborts the process on destruction.
+// Used by STGNN_CHECK for invariants whose violation is a programming error
+// (shape mismatches, out-of-bounds indexing); recoverable errors use Status.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace stgnn::internal
+
+#define STGNN_CHECK(condition)                                           \
+  while (!(condition))                                                   \
+  ::stgnn::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define STGNN_CHECK_EQ(a, b) STGNN_CHECK((a) == (b))
+#define STGNN_CHECK_NE(a, b) STGNN_CHECK((a) != (b))
+#define STGNN_CHECK_LT(a, b) STGNN_CHECK((a) < (b))
+#define STGNN_CHECK_LE(a, b) STGNN_CHECK((a) <= (b))
+#define STGNN_CHECK_GT(a, b) STGNN_CHECK((a) > (b))
+#define STGNN_CHECK_GE(a, b) STGNN_CHECK((a) >= (b))
+
+#endif  // STGNN_COMMON_CHECK_H_

@@ -1,0 +1,69 @@
+#ifndef STGNN_COMMON_RESULT_H_
+#define STGNN_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace stgnn {
+
+// Result<T> holds either a value of type T or an error Status, in the style
+// of arrow::Result. Use ValueOrDie() only where failure is a programming
+// error; otherwise branch on ok().
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error status keeps call sites
+  // terse: `return value;` or `return Status::InvalidArgument(...)`.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : rep_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {
+    STGNN_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& ValueOrDie() const& {
+    STGNN_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    STGNN_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    STGNN_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  // Value access without the death contract; callers must have checked ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace stgnn
+
+// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define STGNN_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto STGNN_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!STGNN_CONCAT_(_res_, __LINE__).ok())        \
+    return STGNN_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(STGNN_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define STGNN_CONCAT_INNER_(a, b) a##b
+#define STGNN_CONCAT_(a, b) STGNN_CONCAT_INNER_(a, b)
+
+#endif  // STGNN_COMMON_RESULT_H_

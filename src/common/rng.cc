@@ -1,0 +1,140 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stgnn::common {
+
+namespace {
+
+// SplitMix64, used to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  STGNN_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int Rng::UniformInt(int n) {
+  STGNN_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return static_cast<int>(draw % bound);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int Rng::Poisson(double lambda) {
+  STGNN_CHECK_GE(lambda, 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda > 64.0) {
+    // Normal approximation with continuity correction.
+    const double draw = Normal(lambda, std::sqrt(lambda));
+    return draw < 0.0 ? 0 : static_cast<int>(draw + 0.5);
+  }
+  const double threshold = std::exp(-lambda);
+  int count = 0;
+  double product = Uniform();
+  while (product > threshold) {
+    ++count;
+    product *= Uniform();
+  }
+  return count;
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    STGNN_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  STGNN_CHECK_GT(total, 0.0) << "Categorical needs a positive weight";
+  double draw = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+double Rng::Exponential(double rate) {
+  STGNN_CHECK_GT(rate, 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  STGNN_CHECK_GE(n, 0);
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const int j = UniformInt(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace stgnn::common

@@ -1,0 +1,62 @@
+#ifndef STGNN_COMMON_RNG_H_
+#define STGNN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stgnn::common {
+
+// Deterministic pseudo-random number generator (xoshiro256**). Every source
+// of randomness in the library routes through an explicitly seeded Rng so
+// that experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64-bit output.
+  uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Poisson-distributed count with the given rate (Knuth for small lambda,
+  // normal approximation above 64 to stay O(1)).
+  int Poisson(double lambda);
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  int Categorical(const std::vector<double>& weights);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<int> Permutation(int n);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace stgnn::common
+
+#endif  // STGNN_COMMON_RNG_H_

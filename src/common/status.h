@@ -1,0 +1,101 @@
+#ifndef STGNN_COMMON_STATUS_H_
+#define STGNN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace stgnn {
+
+// Error categories for fallible library operations. Mirrors the Arrow/RocksDB
+// style of status-based error handling: library code never throws; it returns
+// a Status (or Result<T>) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+  kNotImplemented,
+};
+
+// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A Status carries either success (OK) or an error code plus message.
+// The OK state stores no allocation; error state allocates a small record.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;
+};
+
+bool operator==(const Status& a, const Status& b);
+
+}  // namespace stgnn
+
+// Propagates an error Status from an expression; continues on OK.
+#define STGNN_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::stgnn::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#endif  // STGNN_COMMON_STATUS_H_

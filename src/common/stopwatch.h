@@ -1,0 +1,29 @@
+#ifndef STGNN_COMMON_STOPWATCH_H_
+#define STGNN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace stgnn::common {
+
+// Wall-clock stopwatch used for the prediction-efficiency experiment
+// (paper Section VII-I) and for progress reporting in trainers.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stgnn::common
+
+#endif  // STGNN_COMMON_STOPWATCH_H_

@@ -1,0 +1,88 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stgnn::common {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty numeric field");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not a number: '" + trimmed + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view text) {
+  const std::string trimmed = Trim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty integer field");
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not an integer: '" + trimmed + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::string Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace stgnn::common

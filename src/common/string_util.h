@@ -1,0 +1,31 @@
+#ifndef STGNN_COMMON_STRING_UTIL_H_
+#define STGNN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace stgnn::common {
+
+// Splits `text` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Strict numeric parsing; the whole trimmed field must be consumed.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt(std::string_view text);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace stgnn::common
+
+#endif  // STGNN_COMMON_STRING_UTIL_H_

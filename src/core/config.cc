@@ -1,0 +1,33 @@
+#include "core/config.h"
+
+namespace stgnn::core {
+
+const char* AggregatorToString(Aggregator aggregator) {
+  switch (aggregator) {
+    case Aggregator::kFlow:
+      return "flow";
+    case Aggregator::kAttention:
+      return "attention";
+    case Aggregator::kMean:
+      return "mean";
+    case Aggregator::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+std::string StgnnConfig::DescribeVariant() const {
+  std::string tag = "STGNN-DJD";
+  if (!ablation.use_flow_convolution) tag += "/no-fc";
+  if (!ablation.use_fcg) tag += "/no-fcg";
+  if (!ablation.use_pcg) tag += "/no-pcg";
+  if (fcg_aggregator != Aggregator::kFlow) {
+    tag += std::string("/fcg-") + AggregatorToString(fcg_aggregator);
+  }
+  if (pcg_aggregator != Aggregator::kAttention) {
+    tag += std::string("/pcg-") + AggregatorToString(pcg_aggregator);
+  }
+  return tag;
+}
+
+}  // namespace stgnn::core

@@ -1,0 +1,56 @@
+#ifndef STGNN_CORE_FLOW_CONVOLUTION_H_
+#define STGNN_CORE_FLOW_CONVOLUTION_H_
+
+#include "autograd/ops.h"
+#include "data/window.h"
+#include "nn/module.h"
+
+namespace stgnn::core {
+
+// Flow convolution (paper Section IV-A, Eq. (1)-(9)).
+//
+// A 1x1 convolution over the channel (time) axis of the stacked flow
+// matrices is exactly a learned linear combination of the k (or d) channel
+// matrices plus a per-entry bias: for stacked history S of shape [k, n*n],
+//   Î^S = ReLU(reshape(W1 S) + b1),  W1 in R^{1 x k}, b1 in R^{n x n}.
+// Short- and long-term embeddings are fused by the attentive gate of
+// Eq. (5)-(8); the sigmoid form used here is algebraically identical to the
+// paper's two-exponential softmax (exp(a)/(exp(a)+exp(b)) = sigmoid(a-b))
+// and numerically stable. Eq. (9) concatenates the fused inflow/outflow
+// matrices and projects with W7 into node features T of shape [n, n].
+class FlowConvolution : public nn::Module {
+ public:
+  FlowConvolution(int num_stations, int short_term_slots, int long_term_days,
+                  common::Rng* rng);
+
+  struct Output {
+    autograd::Variable node_features;    // T, [n, n]
+    autograd::Variable temporal_inflow;  // Î, [n, n]
+    autograd::Variable temporal_outflow; // Ô, [n, n]
+  };
+
+  Output Forward(const data::StHistory& history) const;
+
+  int num_stations() const { return num_stations_; }
+
+ private:
+  // Applies a 1x1 conv branch: ReLU(reshape(weight * stacked) + bias).
+  autograd::Variable ConvBranch(const autograd::Variable& weight,
+                                const autograd::Variable& bias,
+                                const tensor::Tensor& stacked) const;
+
+  int num_stations_;
+  int short_term_slots_;
+  int long_term_days_;
+  autograd::Variable w1_, b1_;  // short-term inflow (Eq. 1)
+  autograd::Variable w2_, b2_;  // short-term outflow (Eq. 2)
+  autograd::Variable w3_, b3_;  // long-term inflow (Eq. 3)
+  autograd::Variable w4_, b4_;  // long-term outflow (Eq. 4)
+  autograd::Variable w5_;       // inflow fusion gate (Eq. 6-7)
+  autograd::Variable w6_;       // outflow fusion gate (Eq. 8)
+  autograd::Variable w7_;       // feature projection (Eq. 9), [2n, n]
+};
+
+}  // namespace stgnn::core
+
+#endif  // STGNN_CORE_FLOW_CONVOLUTION_H_

@@ -1,0 +1,46 @@
+#include "core/graph_generator.h"
+
+namespace stgnn::core {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+using tensor::Tensor;
+
+FlowConvolutedGraph BuildFlowConvolutedGraph(
+    const Variable& node_features, const Variable& temporal_inflow,
+    const Variable& temporal_outflow) {
+  const Tensor& inflow = temporal_inflow.value();
+  const Tensor& outflow = temporal_outflow.value();
+  STGNN_CHECK_EQ(inflow.ndim(), 2);
+  STGNN_CHECK(inflow.shape() == outflow.shape());
+  const int n = inflow.dim(0);
+  STGNN_CHECK(node_features.value().shape() == inflow.shape());
+
+  FlowConvolutedGraph graph;
+  // Edge j -> i iff Î(i, j) > 0 or Ô(j, i) > 0; self-loops always on.
+  Tensor mask({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const bool edge =
+          i == j || inflow.at(i, j) > 0.0f || outflow.at(j, i) > 0.0f;
+      mask.at(i, j) = edge ? 1.0f : 0.0f;
+    }
+  }
+  graph.edge_mask = mask;
+
+  // Eq. (10): E_f(i, j) = T(i, j) / sum_k T(i, k) over the edge set. ReLU
+  // keeps weights non-negative; epsilon guards empty rows.
+  Variable masked =
+      ag::Mul(ag::Relu(node_features), Variable::Constant(std::move(mask)));
+  Variable row_sum = ag::AddScalar(ag::SumAxisKeepdims(masked, /*axis=*/1),
+                                   1e-6f);
+  graph.weights = ag::Div(masked, row_sum);
+  return graph;
+}
+
+Tensor DensePatternMask(int num_stations) {
+  STGNN_CHECK_GT(num_stations, 0);
+  return Tensor::Ones({num_stations, num_stations});
+}
+
+}  // namespace stgnn::core

@@ -1,0 +1,38 @@
+#ifndef STGNN_CORE_GRAPH_GENERATOR_H_
+#define STGNN_CORE_GRAPH_GENERATOR_H_
+
+#include "autograd/ops.h"
+
+namespace stgnn::core {
+
+// The flow-convoluted graph for one time slot (paper Definition 2).
+struct FlowConvolutedGraph {
+  // 0/1 edge mask: mask(i, j) = 1 iff edge j -> i exists, i.e. Î(i,j) > 0 or
+  // Ô(j,i) > 0, plus self-loops (Eq. (13) aggregates the node itself).
+  tensor::Tensor edge_mask;  // [n, n]
+  // Differentiable edge weights per Eq. (10): node features masked to the
+  // edge set and row-normalised. ReLU is applied first so weights are
+  // non-negative (T itself is a linear projection and may go negative; the
+  // paper's normalisation implicitly assumes non-negative entries).
+  autograd::Variable weights;  // [n, n], rows sum to ~1
+};
+
+// Builds the FCG from the flow-convolution outputs of the current slot.
+// All inputs are [n, n] variables; edges are derived from the *values* of
+// the temporal inflow/outflow (graph topology is data, not differentiable),
+// while the edge weights stay differentiable through the node features.
+FlowConvolutedGraph BuildFlowConvolutedGraph(
+    const autograd::Variable& node_features,
+    const autograd::Variable& temporal_inflow,
+    const autograd::Variable& temporal_outflow);
+
+// The pattern correlation graph (paper Definition 3) is fully dense: every
+// pair of stations gets an attention-derived weight, recomputed inside each
+// attention aggregator layer (Eq. (15)-(16)). Its "generation" therefore
+// needs no precomputation beyond the node features; this constant returns
+// the dense mask used by mean/max PCG aggregator variants.
+tensor::Tensor DensePatternMask(int num_stations);
+
+}  // namespace stgnn::core
+
+#endif  // STGNN_CORE_GRAPH_GENERATOR_H_

@@ -1,0 +1,127 @@
+#ifndef STGNN_CORE_STGNN_DJD_H_
+#define STGNN_CORE_STGNN_DJD_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregators.h"
+#include "core/config.h"
+#include "core/flow_convolution.h"
+#include "core/graph_generator.h"
+#include "data/flow_dataset.h"
+#include "eval/predictor.h"
+#include "nn/linear.h"
+
+namespace stgnn::core {
+
+// Stack of GNN layers over the flow-convoluted graph, with the aggregator
+// selected by configuration (flow for the paper's model; mean/max for the
+// Fig. 5 study).
+class FcgBranch : public nn::Module {
+ public:
+  FcgBranch(int feature_dim, int num_layers, Aggregator aggregator,
+            common::Rng* rng, bool self_term = true,
+            bool near_identity = true);
+
+  autograd::Variable Forward(const autograd::Variable& features,
+                             const FlowConvolutedGraph& graph) const;
+
+ private:
+  Aggregator aggregator_;
+  std::vector<std::unique_ptr<FlowGnnLayer>> flow_layers_;
+  std::vector<std::unique_ptr<MeanGnnLayer>> mean_layers_;
+  std::vector<std::unique_ptr<MaxGnnLayer>> max_layers_;
+};
+
+// Stack of GNN layers over the (dense) pattern correlation graph, with the
+// aggregator selected by configuration (attention for the paper's model;
+// mean/max for the Fig. 6 study).
+class PcgBranch : public nn::Module {
+ public:
+  PcgBranch(int feature_dim, int num_layers, int num_heads,
+            Aggregator aggregator, common::Rng* rng, bool self_term = true,
+            bool near_identity = true);
+
+  autograd::Variable Forward(const autograd::Variable& features) const;
+
+  // Per-head attention of the *first* attention layer from the most recent
+  // Forward; empty for non-attention aggregators. Used by the case study.
+  std::vector<tensor::Tensor> FirstLayerAttention() const;
+
+ private:
+  int feature_dim_;
+  Aggregator aggregator_;
+  std::vector<std::unique_ptr<AttentionGnnLayer>> attention_layers_;
+  std::vector<std::unique_ptr<MeanGnnLayer>> mean_layers_;
+  std::vector<std::unique_ptr<MaxGnnLayer>> max_layers_;
+};
+
+// The STGNN-DJD network (paper Sections IV-VI): flow convolution for node
+// features, FCG + PCG graph branches, and the joint demand/supply linear
+// predictor. One Forward processes one time slot.
+class StgnnDjdModel : public nn::Module {
+ public:
+  StgnnDjdModel(int num_stations, const StgnnConfig& config,
+                common::Rng* rng);
+
+  // Returns the [n, 2] normalised demand/supply prediction for the slot
+  // whose history is given. `dropout_rng` is only used when training.
+  autograd::Variable Forward(const data::StHistory& history, bool training,
+                             common::Rng* dropout_rng) const;
+
+  // Attention matrices (per head) of the first PCG attention layer from the
+  // most recent Forward call.
+  std::vector<tensor::Tensor> LastPcgAttention() const;
+
+  int num_stations() const { return num_stations_; }
+
+ private:
+  int num_stations_;
+  StgnnConfig config_;
+  std::unique_ptr<FlowConvolution> flow_convolution_;  // null when No-FC
+  autograd::Variable learned_features_;                // used when No-FC
+  std::unique_ptr<FcgBranch> fcg_branch_;              // null when No-FCG
+  std::unique_ptr<PcgBranch> pcg_branch_;              // null when No-PCG
+  std::unique_ptr<nn::Linear> output_layer_;           // Eq. (20)
+};
+
+// eval::Predictor wrapper: owns the model, normaliser, and training loop
+// (Adam on the joint RMSE loss of Eq. (21)).
+class StgnnDjdPredictor : public eval::Predictor {
+ public:
+  explicit StgnnDjdPredictor(StgnnConfig config);
+  ~StgnnDjdPredictor() override;
+
+  std::string name() const override;
+  void Train(const data::FlowDataset& flow) override;
+  tensor::Tensor Predict(const data::FlowDataset& flow, int t) override;
+
+  // Multi-step prediction (paper Section IX future work): the [n, 2*h]
+  // matrix of demand (first h columns) and supply (last h columns) for
+  // slots t..t+h-1, where h = config.horizon. Predict() returns the first
+  // step of this output.
+  tensor::Tensor PredictHorizon(const data::FlowDataset& flow, int t);
+
+  // First slot this model can predict for the given dataset.
+  int MinHistorySlots(const data::FlowDataset& flow) const;
+
+  // Case-study hook: per-head attention of the first PCG layer at slot t.
+  std::vector<tensor::Tensor> PcgAttentionAt(const data::FlowDataset& flow,
+                                             int t);
+
+  const StgnnConfig& config() const { return config_; }
+  const StgnnDjdModel* model() const { return model_.get(); }
+
+ private:
+  data::StHistory HistoryAt(const data::FlowDataset& flow, int t) const;
+
+  StgnnConfig config_;
+  std::unique_ptr<StgnnDjdModel> model_;
+  std::unique_ptr<data::MinMaxNormalizer> normalizer_;
+  std::unique_ptr<common::Rng> dropout_rng_;
+  float input_scale_ = 1.0f;
+};
+
+}  // namespace stgnn::core
+
+#endif  // STGNN_CORE_STGNN_DJD_H_

@@ -1,0 +1,309 @@
+#include "data/city_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "graph/graph.h"
+
+namespace stgnn::data {
+
+namespace {
+
+// Relative departure intensity of a role at a given hour. The profiles are
+// normalised later so they only need to encode shape. Weekends suppress
+// commute and school peaks and raise leisure.
+double DepartureProfile(StationRole role, int hour, bool weekend) {
+  auto bump = [](double x, double center, double width) {
+    const double z = (x - center) / width;
+    return std::exp(-0.5 * z * z);
+  };
+  const double base = 0.15;
+  if (weekend) {
+    switch (role) {
+      case StationRole::kResidential:
+        return base + 0.8 * bump(hour, 11, 3.0) + 0.5 * bump(hour, 16, 3.0);
+      case StationRole::kDowntown:
+        return base + 0.6 * bump(hour, 14, 4.0);
+      case StationRole::kSchool:
+        return base + 0.2 * bump(hour, 12, 4.0);
+      case StationRole::kLeisure:
+        return base + 1.6 * bump(hour, 13, 3.5) + 0.8 * bump(hour, 18, 2.0);
+    }
+  }
+  switch (role) {
+    case StationRole::kResidential:
+      // People leave home in the morning; mild evening errands.
+      return base + 2.2 * bump(hour, 8, 1.2) + 0.5 * bump(hour, 19, 2.0);
+    case StationRole::kDowntown:
+      // Offices drain in the evening; lunchtime ripple.
+      return base + 2.2 * bump(hour, 18, 1.2) + 0.6 * bump(hour, 12, 1.0);
+    case StationRole::kSchool:
+      // Students leave mid-afternoon — identical schedule at every school.
+      return base + 2.5 * bump(hour, 15.5, 0.9) + 0.3 * bump(hour, 12, 1.0);
+    case StationRole::kLeisure:
+      return base + 0.9 * bump(hour, 13, 3.0) + 0.9 * bump(hour, 20, 2.0);
+  }
+  return base;
+}
+
+// Relative attractiveness of a role as a trip destination at a given hour.
+double AttractionProfile(StationRole role, int hour, bool weekend) {
+  auto bump = [](double x, double center, double width) {
+    const double z = (x - center) / width;
+    return std::exp(-0.5 * z * z);
+  };
+  const double base = 0.15;
+  if (weekend) {
+    switch (role) {
+      case StationRole::kResidential:
+        return base + 0.7 * bump(hour, 17, 3.0);
+      case StationRole::kDowntown:
+        return base + 0.5 * bump(hour, 13, 4.0);
+      case StationRole::kSchool:
+        return base + 0.1;
+      case StationRole::kLeisure:
+        return base + 1.8 * bump(hour, 13, 3.5) + 0.8 * bump(hour, 19, 2.0);
+    }
+  }
+  switch (role) {
+    case StationRole::kResidential:
+      // People ride home in the evening.
+      return base + 2.2 * bump(hour, 18.5, 1.4);
+    case StationRole::kDowntown:
+      // Morning commute destination; lunchtime visits.
+      return base + 2.2 * bump(hour, 8.5, 1.2) + 0.5 * bump(hour, 12, 1.0);
+    case StationRole::kSchool:
+      // Students arrive in a sharp morning window — again globally in sync.
+      return base + 2.5 * bump(hour, 7.8, 0.7);
+    case StationRole::kLeisure:
+      return base + 0.8 * bump(hour, 13, 3.0) + 1.0 * bump(hour, 20, 2.0);
+  }
+  return base;
+}
+
+}  // namespace
+
+const char* StationRoleToString(StationRole role) {
+  switch (role) {
+    case StationRole::kResidential:
+      return "residential";
+    case StationRole::kDowntown:
+      return "downtown";
+    case StationRole::kSchool:
+      return "school";
+    case StationRole::kLeisure:
+      return "leisure";
+  }
+  return "unknown";
+}
+
+CityConfig CityConfig::ChicagoLike() {
+  CityConfig config;
+  config.name = "chicago-like";
+  config.num_districts = 4;
+  config.stations_per_district = 8;
+  config.num_days = 28;
+  config.mean_daily_departures_per_station = 120.0;
+  config.seed = 20220713;
+  return config;
+}
+
+CityConfig CityConfig::LaLike() {
+  CityConfig config;
+  config.name = "la-like";
+  config.num_districts = 4;
+  config.stations_per_district = 5;
+  config.num_days = 28;
+  // LA's dataset has roughly one tenth of Chicago's trips per station-day.
+  config.mean_daily_departures_per_station = 40.0;
+  config.distance_decay_km = 2.5;
+  config.seed = 20171001;
+  return config;
+}
+
+CityConfig CityConfig::Tiny() {
+  CityConfig config;
+  config.name = "tiny";
+  config.num_districts = 2;
+  config.stations_per_district = 4;
+  config.num_days = 10;
+  config.mean_daily_departures_per_station = 40.0;
+  config.seed = 7;
+  return config;
+}
+
+CitySimulator::CitySimulator(CityConfig config) : config_(std::move(config)) {
+  STGNN_CHECK_GT(config_.num_districts, 0);
+  STGNN_CHECK_GT(config_.stations_per_district, 0);
+  STGNN_CHECK_GT(config_.num_days, 0);
+  STGNN_CHECK_GT(config_.slot_minutes, 0);
+  STGNN_CHECK_EQ((24 * 60) % config_.slot_minutes, 0)
+      << "slot_minutes must divide a day";
+}
+
+StationRole CitySimulator::RoleOf(int station_index) const {
+  const int district = station_index / config_.stations_per_district;
+  const int slot = station_index % config_.stations_per_district;
+  // Every district hosts one school (slot 0) and one leisure spot (slot 1),
+  // so distant schools with identical schedules exist by construction.
+  if (slot == 0) return StationRole::kSchool;
+  if (slot == 1) return StationRole::kLeisure;
+  // District 0 is the downtown core; the rest are residential.
+  return district == 0 ? StationRole::kDowntown : StationRole::kResidential;
+}
+
+TripDataset CitySimulator::Generate() const {
+  common::Rng rng(config_.seed);
+  const int n = config_.num_districts * config_.stations_per_district;
+  const int slots_per_day = 24 * 60 / config_.slot_minutes;
+
+  TripDataset dataset;
+  dataset.city_name = config_.name;
+  dataset.num_days = config_.num_days;
+  dataset.slot_minutes = config_.slot_minutes;
+
+  // --- Station placement: districts on a ring around the city centre ---
+  const double center_lat = 41.88;
+  const double center_lon = -87.63;
+  // ~1 degree lat = 111 km; districts 3-5 km from centre, stations within
+  // ~0.7 km of their district centre.
+  std::vector<double> lat(n), lon(n);
+  for (int d = 0; d < config_.num_districts; ++d) {
+    const double angle = 2.0 * M_PI * d / config_.num_districts;
+    const double radius_km = d == 0 ? 0.0 : rng.Uniform(3.0, 5.0);
+    const double district_lat = center_lat + radius_km * std::cos(angle) / 111.0;
+    const double district_lon =
+        center_lon + radius_km * std::sin(angle) /
+                         (111.0 * std::cos(center_lat * M_PI / 180.0));
+    for (int s = 0; s < config_.stations_per_district; ++s) {
+      const int i = d * config_.stations_per_district + s;
+      lat[i] = district_lat + rng.Normal(0.0, 0.35 / 111.0);
+      lon[i] = district_lon + rng.Normal(0.0, 0.35 / 111.0);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    Station station;
+    station.id = i;
+    station.lat = lat[i];
+    station.lon = lon[i];
+    station.name = common::Format(
+        "%s-d%d-%s-%d", config_.name.c_str(), i / config_.stations_per_district,
+        StationRoleToString(RoleOf(i)), i % config_.stations_per_district);
+    dataset.stations.push_back(std::move(station));
+  }
+
+  const tensor::Tensor dist = graph::HaversineDistanceMatrix(lat, lon);
+
+  // Per-station popularity (lognormal-ish) so stations are heterogeneous.
+  // `popularity` is refreshed each day from the base value plus drift.
+  std::vector<double> base_popularity(n);
+  for (int i = 0; i < n; ++i) {
+    base_popularity[i] = std::exp(rng.Normal(0.0, 0.35));
+  }
+  std::vector<double> popularity = base_popularity;
+
+  // Normalise departure profiles so mean_daily_departures is honoured: the
+  // per-slot rate is mean_daily / slots_per_day scaled by profile / mean
+  // profile.
+  std::vector<StationRole> roles(n);
+  for (int i = 0; i < n; ++i) roles[i] = RoleOf(i);
+
+  auto mean_profile = [&](StationRole role, bool weekend) {
+    double total = 0.0;
+    for (int h = 0; h < 24; ++h) total += DepartureProfile(role, h, weekend);
+    return total / 24.0;
+  };
+
+  // --- Trip process ---
+  const int64_t total_minutes =
+      static_cast<int64_t>(config_.num_days) * 24 * 60;
+  int64_t next_rid = 1;
+  std::vector<double> attraction(n);
+  // Non-stationary activity: city-wide log-AR(1) across days and 3-hour
+  // blocks (a weather proxy), plus per-station popularity drift.
+  double day_log_activity = 0.0;
+  double block_log_activity = 0.0;
+  std::vector<double> log_pop_drift(n, 0.0);
+  for (int day = 0; day < config_.num_days; ++day) {
+    const bool weekend = day % 7 >= 5;
+    const double weekend_scale = weekend ? config_.weekend_activity_factor : 1.0;
+    day_log_activity = 0.7 * day_log_activity +
+                       rng.Normal(0.0, config_.daily_activity_sigma);
+    for (int i = 0; i < n; ++i) {
+      log_pop_drift[i] += rng.Normal(0.0, config_.popularity_drift_sigma);
+      popularity[i] = std::exp(log_pop_drift[i]) * base_popularity[i];
+    }
+    for (int slot = 0; slot < slots_per_day; ++slot) {
+      const int slots_per_block = slots_per_day / 8;  // 3-hour blocks
+      if (slot % slots_per_block == 0) {
+        block_log_activity = 0.6 * block_log_activity +
+                             rng.Normal(0.0, config_.block_activity_sigma);
+      }
+      // Centre the lognormal so the long-run mean multiplier is 1 (the
+      // stationary variance of an AR(1) with factor a is sigma^2/(1-a^2)).
+      const double day_var = config_.daily_activity_sigma *
+                             config_.daily_activity_sigma / (1.0 - 0.49);
+      const double block_var = config_.block_activity_sigma *
+                               config_.block_activity_sigma / (1.0 - 0.36);
+      const double activity = std::exp(day_log_activity + block_log_activity -
+                                       0.5 * (day_var + block_var));
+      const int hour = slot * config_.slot_minutes / 60;
+      // Destination attractiveness at this hour, shared by all origins.
+      for (int j = 0; j < n; ++j) {
+        attraction[j] = popularity[j] *
+                        AttractionProfile(roles[j], hour, weekend);
+      }
+      for (int i = 0; i < n; ++i) {
+        const double rate = config_.mean_daily_departures_per_station /
+                            slots_per_day * popularity[i] *
+                            DepartureProfile(roles[i], hour, weekend) /
+                            mean_profile(roles[i], weekend) * weekend_scale *
+                            activity;
+        const int departures = rng.Poisson(rate);
+        for (int trip = 0; trip < departures; ++trip) {
+          // Destination choice: attraction, with distance decay for ordinary
+          // trips. Users rarely bike between adjacent docks, so very short
+          // hops are discouraged too.
+          const bool long_range = rng.Bernoulli(config_.long_range_trip_fraction);
+          std::vector<double> weights(n, 0.0);
+          for (int j = 0; j < n; ++j) {
+            if (j == i) continue;
+            const double d = dist.at(i, j);
+            double w = attraction[j];
+            if (!long_range) {
+              w *= std::exp(-d / config_.distance_decay_km);
+            }
+            if (d < 0.25) w *= 0.2;  // walking beats biking next door
+            weights[j] = w;
+          }
+          const int j = rng.Categorical(weights);
+          const double d = dist.at(i, j);
+          const double duration_minutes =
+              std::max(2.0, d / config_.bike_speed_kmh * 60.0 *
+                                rng.Uniform(0.85, 1.35));
+          const int64_t start_minute =
+              static_cast<int64_t>(day) * 24 * 60 +
+              static_cast<int64_t>(slot) * config_.slot_minutes +
+              rng.UniformInt(config_.slot_minutes);
+          const int64_t end_minute =
+              start_minute + static_cast<int64_t>(std::lround(duration_minutes));
+          if (end_minute >= total_minutes) continue;  // window overflow
+          TripRecord record;
+          record.rid = next_rid++;
+          record.origin = i;
+          record.destination = j;
+          record.start_minute = start_minute;
+          record.end_minute = end_minute;
+          dataset.trips.push_back(record);
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace stgnn::data

@@ -1,0 +1,87 @@
+#ifndef STGNN_DATA_CITY_SIMULATOR_H_
+#define STGNN_DATA_CITY_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/trip.h"
+
+namespace stgnn::data {
+
+// Role of a station in the synthetic city. Roles drive the time-of-day trip
+// intensity profile, which is what gives the data the spatial-temporal
+// structure STGNN-DJD exploits.
+enum class StationRole {
+  kResidential,  // origin of morning commutes, destination of evening ones
+  kDowntown,     // destination of morning commutes, origin of evening ones
+  kSchool,       // sharp morning arrival / mid-afternoon departure peaks;
+                 // schools in *different* districts share the same schedule,
+                 // creating the paper's distant-but-correlated pattern
+  kLeisure,      // midday and weekend activity
+};
+
+const char* StationRoleToString(StationRole role);
+
+// Configuration of the synthetic city. Defaults are the "chicago-like"
+// profile; LaLike() rescales to the LA dataset's character (fewer stations,
+// roughly 10x fewer trips).
+struct CityConfig {
+  std::string name = "chicago-like";
+  int num_districts = 5;        // geographic clusters of stations
+  int stations_per_district = 10;
+  int num_days = 28;            // observation window
+  int slot_minutes = 15;        // paper setting
+  // Expected rides leaving an average station per day; scaled by role and
+  // time-of-day profiles.
+  double mean_daily_departures_per_station = 55.0;
+  double weekend_activity_factor = 0.65;  // weekday commutes vanish
+  // Average biking speed used to derive trip durations from distances.
+  double bike_speed_kmh = 12.0;
+  // Fraction of trips that ignore distance decay when choosing destinations
+  // (long leisure rides); keeps some long-range flow in the data.
+  double long_range_trip_fraction = 0.15;
+  // Distance-decay scale in km for destination choice of ordinary trips.
+  double distance_decay_km = 2.0;
+  // Non-stationary activity ("weather"): log-scale AR(1) stddev of the
+  // city-wide activity multiplier across days and across 3-hour blocks
+  // within a day. This is what separates learned models from Historical
+  // Average on real data — HA averages the multiplier away, while models
+  // that read the recent flow can adapt to the current level. Set both to 0
+  // for a perfectly periodic city.
+  double daily_activity_sigma = 0.55;
+  double block_activity_sigma = 0.35;
+  // Per-day random-walk stddev of each station's log-popularity.
+  double popularity_drift_sigma = 0.10;
+  uint64_t seed = 20220713;
+
+  static CityConfig ChicagoLike();
+  static CityConfig LaLike();
+  // A tiny configuration for unit tests and the quickstart example.
+  static CityConfig Tiny();
+};
+
+// Generates a synthetic bike-sharing city: station placement in districts,
+// role assignment (each district gets a school so the "two schools" global
+// correlation from the paper's Fig. 3(b) exists between distant stations),
+// and a Poisson trip process with role- and time-dependent origin/destination
+// intensities plus travel-time lag.
+class CitySimulator {
+ public:
+  explicit CitySimulator(CityConfig config);
+
+  // Runs the generator. Deterministic for a fixed config (seed included).
+  TripDataset Generate() const;
+
+  // Role of station `i` under this configuration (exposed for tests and for
+  // the case-study example).
+  StationRole RoleOf(int station_index) const;
+
+  const CityConfig& config() const { return config_; }
+
+ private:
+  CityConfig config_;
+};
+
+}  // namespace stgnn::data
+
+#endif  // STGNN_DATA_CITY_SIMULATOR_H_

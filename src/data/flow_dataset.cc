@@ -1,0 +1,224 @@
+#include "data/flow_dataset.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace stgnn::data {
+
+using tensor::Tensor;
+
+int CleanseTrips(TripDataset* dataset) {
+  STGNN_CHECK(dataset != nullptr);
+  const int n = dataset->num_stations();
+  const int64_t day_minutes = 24 * 60;
+  auto invalid = [&](const TripRecord& r) {
+    const int64_t duration = r.end_minute - r.start_minute;
+    return duration <= 0 || duration > day_minutes || r.origin < 0 ||
+           r.origin >= n || r.destination < 0 || r.destination >= n;
+  };
+  const auto new_end =
+      std::remove_if(dataset->trips.begin(), dataset->trips.end(), invalid);
+  const int dropped =
+      static_cast<int>(std::distance(new_end, dataset->trips.end()));
+  dataset->trips.erase(new_end, dataset->trips.end());
+  return dropped;
+}
+
+int FlowDataset::FirstPredictableSlot(int k, int d) const {
+  return std::max(k, d * slots_per_day);
+}
+
+bool FlowDataset::InHourRange(int t, int begin_hour, int end_hour) const {
+  const int slot_of_day = SlotOfDay(t);
+  const int slots_per_hour = slots_per_day / 24;
+  return slot_of_day >= begin_hour * slots_per_hour &&
+         slot_of_day < end_hour * slots_per_hour;
+}
+
+FlowDataset BuildFlowDataset(const TripDataset& trips, double train_fraction,
+                             double val_fraction) {
+  STGNN_CHECK_GT(train_fraction, 0.0);
+  STGNN_CHECK_GE(val_fraction, 0.0);
+  STGNN_CHECK_LT(train_fraction + val_fraction, 1.0);
+  const int n = trips.num_stations();
+  STGNN_CHECK_GT(n, 0);
+
+  FlowDataset flow;
+  flow.city_name = trips.city_name;
+  flow.stations = trips.stations;
+  flow.num_stations = n;
+  flow.slots_per_day = trips.slots_per_day();
+  flow.num_slots = trips.num_slots();
+  flow.inflow.assign(flow.num_slots, Tensor({n, n}));
+  flow.outflow.assign(flow.num_slots, Tensor({n, n}));
+
+  for (const TripRecord& trip : trips.trips) {
+    const int checkout_slot =
+        static_cast<int>(trip.start_minute / trips.slot_minutes);
+    const int return_slot =
+        static_cast<int>(trip.end_minute / trips.slot_minutes);
+    // O^t[i][j]: checked out from i at t, returned to j.
+    if (checkout_slot >= 0 && checkout_slot < flow.num_slots) {
+      flow.outflow[checkout_slot].at(trip.origin, trip.destination) += 1.0f;
+    }
+    // I^t[i][j]: returned to i at t, borrowed from j.
+    if (return_slot >= 0 && return_slot < flow.num_slots) {
+      flow.inflow[return_slot].at(trip.destination, trip.origin) += 1.0f;
+    }
+  }
+
+  flow.demand = Tensor({flow.num_slots, n});
+  flow.supply = Tensor({flow.num_slots, n});
+  for (int t = 0; t < flow.num_slots; ++t) {
+    for (int i = 0; i < n; ++i) {
+      float out_total = 0.0f;
+      float in_total = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        out_total += flow.outflow[t].at(i, j);
+        in_total += flow.inflow[t].at(i, j);
+      }
+      flow.demand.at(t, i) = out_total;
+      flow.supply.at(t, i) = in_total;
+    }
+  }
+
+  // Day-aligned splits: whole days go to one side of each boundary.
+  const int num_days = flow.num_slots / flow.slots_per_day;
+  const int train_days = std::max(1, static_cast<int>(num_days * train_fraction));
+  const int val_days =
+      std::max(0, static_cast<int>(num_days * (train_fraction + val_fraction)) -
+                      train_days);
+  flow.train_end = train_days * flow.slots_per_day;
+  flow.val_end = (train_days + val_days) * flow.slots_per_day;
+  STGNN_CHECK_LE(flow.val_end, flow.num_slots);
+
+  float max_flow = 1.0f;
+  for (int t = 0; t < flow.train_end; ++t) {
+    max_flow = std::max(max_flow, tensor::MaxAll(flow.inflow[t]));
+    max_flow = std::max(max_flow, tensor::MaxAll(flow.outflow[t]));
+  }
+  flow.max_train_flow = max_flow;
+  return flow;
+}
+
+MinMaxNormalizer::MinMaxNormalizer(float min_value, float max_value)
+    : min_(min_value), max_(max_value) {
+  STGNN_CHECK_LT(min_, max_);
+}
+
+MinMaxNormalizer MinMaxNormalizer::Fit(const Tensor& demand,
+                                       const Tensor& supply, int train_end) {
+  STGNN_CHECK_GT(train_end, 0);
+  STGNN_CHECK_LE(train_end, demand.dim(0));
+  const Tensor demand_train = demand.SliceRows(0, train_end);
+  const Tensor supply_train = supply.SliceRows(0, train_end);
+  const float lo = std::min(tensor::MinAll(demand_train),
+                            tensor::MinAll(supply_train));
+  float hi = std::max(tensor::MaxAll(demand_train),
+                      tensor::MaxAll(supply_train));
+  if (hi <= lo) hi = lo + 1.0f;
+  return MinMaxNormalizer(lo, hi);
+}
+
+float MinMaxNormalizer::Normalize(float value) const {
+  return (value - min_) / (max_ - min_);
+}
+
+float MinMaxNormalizer::Denormalize(float value) const {
+  return value * (max_ - min_) + min_;
+}
+
+Tensor MinMaxNormalizer::Normalize(const Tensor& values) const {
+  return tensor::MulScalar(tensor::AddScalar(values, -min_),
+                           1.0f / (max_ - min_));
+}
+
+Tensor MinMaxNormalizer::Denormalize(const Tensor& values) const {
+  return tensor::AddScalar(tensor::MulScalar(values, max_ - min_), min_);
+}
+
+Status SaveTripsCsv(const TripDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "rid,bike_id,start_minute,end_minute,origin_id,destination_id,"
+         "origin_name,destination_name\n";
+  for (const TripRecord& trip : dataset.trips) {
+    out << trip.rid << "," << trip.rid % 997 << "," << trip.start_minute << ","
+        << trip.end_minute << "," << trip.origin << "," << trip.destination
+        << "," << dataset.stations[trip.origin].name << ","
+        << dataset.stations[trip.destination].name << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveStationsCsv(const TripDataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "id,lat,lon,name\n";
+  for (const Station& station : dataset.stations) {
+    out << station.id << "," << station.lat << "," << station.lon << ","
+        << station.name << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TripDataset> LoadTripsCsv(const std::string& trips_path,
+                                 const std::string& stations_path) {
+  TripDataset dataset;
+  {
+    std::ifstream in(stations_path);
+    if (!in) return Status::IoError("cannot open: " + stations_path);
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::IoError("empty stations file: " + stations_path);
+    }
+    while (std::getline(in, line)) {
+      if (common::Trim(line).empty()) continue;
+      const auto fields = common::Split(line, ',');
+      if (fields.size() < 4) {
+        return Status::InvalidArgument("bad station row: " + line);
+      }
+      Station station;
+      STGNN_ASSIGN_OR_RETURN(const int64_t id, common::ParseInt(fields[0]));
+      STGNN_ASSIGN_OR_RETURN(station.lat, common::ParseDouble(fields[1]));
+      STGNN_ASSIGN_OR_RETURN(station.lon, common::ParseDouble(fields[2]));
+      station.id = static_cast<int>(id);
+      station.name = fields[3];
+      dataset.stations.push_back(std::move(station));
+    }
+  }
+  int64_t max_minute = 0;
+  {
+    std::ifstream in(trips_path);
+    if (!in) return Status::IoError("cannot open: " + trips_path);
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::IoError("empty trips file: " + trips_path);
+    }
+    while (std::getline(in, line)) {
+      if (common::Trim(line).empty()) continue;
+      const auto fields = common::Split(line, ',');
+      if (fields.size() < 6) {
+        return Status::InvalidArgument("bad trip row: " + line);
+      }
+      TripRecord trip;
+      STGNN_ASSIGN_OR_RETURN(trip.rid, common::ParseInt(fields[0]));
+      STGNN_ASSIGN_OR_RETURN(trip.start_minute, common::ParseInt(fields[2]));
+      STGNN_ASSIGN_OR_RETURN(trip.end_minute, common::ParseInt(fields[3]));
+      STGNN_ASSIGN_OR_RETURN(const int64_t origin, common::ParseInt(fields[4]));
+      STGNN_ASSIGN_OR_RETURN(const int64_t dest, common::ParseInt(fields[5]));
+      trip.origin = static_cast<int>(origin);
+      trip.destination = static_cast<int>(dest);
+      max_minute = std::max(max_minute, trip.end_minute);
+      dataset.trips.push_back(trip);
+    }
+  }
+  dataset.num_days = static_cast<int>((max_minute + 24 * 60 - 1) / (24 * 60));
+  return dataset;
+}
+
+}  // namespace stgnn::data

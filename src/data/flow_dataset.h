@@ -1,0 +1,97 @@
+#ifndef STGNN_DATA_FLOW_DATASET_H_
+#define STGNN_DATA_FLOW_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/trip.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::data {
+
+// Removes records with abnormal trip times (non-positive or longer than 24
+// hours) or invalid station ids, mirroring the paper's data cleansing.
+// Returns the number of records dropped.
+int CleanseTrips(TripDataset* dataset);
+
+// Per-slot flow matrices plus derived demand/supply series and split
+// boundaries. This is the input every model in the repository consumes.
+//
+// Conventions follow the paper exactly: O^t[i][j] = bikes checked out from
+// station i at slot t and later returned to j (t = checkout slot);
+// I^t[i][j] = bikes returned to station i at slot t that were borrowed from
+// j (t = return slot). Demand x_i^t = sum_j O^t[i][j]; supply
+// y_i^t = sum_j I^t[i][j].
+struct FlowDataset {
+  std::string city_name;
+  std::vector<Station> stations;
+  int num_stations = 0;
+  int slots_per_day = 0;
+  int num_slots = 0;
+
+  std::vector<tensor::Tensor> inflow;   // per slot, [n, n]
+  std::vector<tensor::Tensor> outflow;  // per slot, [n, n]
+  tensor::Tensor demand;  // [num_slots, n]
+  tensor::Tensor supply;  // [num_slots, n]
+
+  // Day-aligned split boundaries (slot indices): train = [0, train_end),
+  // validation = [train_end, val_end), test = [val_end, num_slots).
+  int train_end = 0;
+  int val_end = 0;
+
+  // Largest single flow-matrix entry in the training range; used to scale
+  // model inputs into a stable numeric range.
+  float max_train_flow = 1.0f;
+
+  // Slot-of-day for a global slot index.
+  int SlotOfDay(int t) const { return t % slots_per_day; }
+
+  // First slot with enough history for a model using the last `k` slots and
+  // the same slot of the last `d` days.
+  int FirstPredictableSlot(int k, int d) const;
+
+  // True if slot-of-day falls in [begin_hour, end_hour).
+  bool InHourRange(int t, int begin_hour, int end_hour) const;
+};
+
+// Builds the flow dataset from trips with day-aligned 70/10/20 splits.
+FlowDataset BuildFlowDataset(const TripDataset& trips,
+                             double train_fraction = 0.7,
+                             double val_fraction = 0.1);
+
+// Min-max scaler fitted on the training range of demand and supply jointly,
+// used to rescale targets to [0, 1] (and back for evaluation), as in the
+// paper's preprocessing.
+class MinMaxNormalizer {
+ public:
+  // Fits on rows [0, train_end) of both series.
+  static MinMaxNormalizer Fit(const tensor::Tensor& demand,
+                              const tensor::Tensor& supply, int train_end);
+
+  float Normalize(float value) const;
+  float Denormalize(float value) const;
+  tensor::Tensor Normalize(const tensor::Tensor& values) const;
+  tensor::Tensor Denormalize(const tensor::Tensor& values) const;
+
+  float min_value() const { return min_; }
+  float max_value() const { return max_; }
+
+ private:
+  MinMaxNormalizer(float min_value, float max_value);
+  float min_;
+  float max_;
+};
+
+// --- CSV interchange (matches the real datasets' column layout) ---
+// Header: rid,bike_id,start_minute,end_minute,origin_id,destination_id,
+//         origin_name,destination_name
+Status SaveTripsCsv(const TripDataset& dataset, const std::string& path);
+Result<TripDataset> LoadTripsCsv(const std::string& trips_path,
+                                 const std::string& stations_path);
+// Header: id,lat,lon,name
+Status SaveStationsCsv(const TripDataset& dataset, const std::string& path);
+
+}  // namespace stgnn::data
+
+#endif  // STGNN_DATA_FLOW_DATASET_H_

@@ -1,0 +1,43 @@
+#ifndef STGNN_DATA_TRIP_H_
+#define STGNN_DATA_TRIP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stgnn::data {
+
+// A docking station with its geographic position.
+struct Station {
+  int id = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  std::string name;
+};
+
+// One rental, matching the paper's record schema {rid, so, sd, ts, te}.
+// Times are minutes from the start of the dataset's observation window.
+struct TripRecord {
+  int64_t rid = 0;
+  int origin = 0;       // s_o: station id the bike was checked out from
+  int destination = 0;  // s_d: station id the bike was returned to
+  int64_t start_minute = 0;  // t_s
+  int64_t end_minute = 0;    // t_e
+};
+
+// A complete trip dataset: the station set plus every rental record.
+struct TripDataset {
+  std::string city_name;
+  std::vector<Station> stations;
+  std::vector<TripRecord> trips;
+  int num_days = 0;
+  int slot_minutes = 15;
+
+  int num_stations() const { return static_cast<int>(stations.size()); }
+  int slots_per_day() const { return 24 * 60 / slot_minutes; }
+  int num_slots() const { return num_days * slots_per_day(); }
+};
+
+}  // namespace stgnn::data
+
+#endif  // STGNN_DATA_TRIP_H_

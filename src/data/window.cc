@@ -1,0 +1,114 @@
+#include "data/window.h"
+
+namespace stgnn::data {
+
+using tensor::Tensor;
+
+namespace {
+
+// Copies `source` ([n, n]) scaled by `scale` into row `row` of `dest`
+// ([rows, n*n]).
+void CopyFlowRow(const Tensor& source, float scale, int row, Tensor* dest) {
+  const auto& src = source.data();
+  auto& dst = dest->mutable_data();
+  const size_t row_size = src.size();
+  for (size_t c = 0; c < row_size; ++c) {
+    dst[static_cast<size_t>(row) * row_size + c] = src[c] * scale;
+  }
+}
+
+}  // namespace
+
+StHistory BuildStHistory(const FlowDataset& flow, int t, int k, int d,
+                         float scale) {
+  STGNN_CHECK_GE(t, flow.FirstPredictableSlot(k, d));
+  STGNN_CHECK_LT(t, flow.num_slots);
+  const int n = flow.num_stations;
+  StHistory history;
+  history.inflow_short = Tensor({k, n * n});
+  history.outflow_short = Tensor({k, n * n});
+  history.inflow_long = Tensor({d, n * n});
+  history.outflow_long = Tensor({d, n * n});
+  for (int c = 0; c < k; ++c) {
+    const int slot = t - k + c;
+    CopyFlowRow(flow.inflow[slot], scale, c, &history.inflow_short);
+    CopyFlowRow(flow.outflow[slot], scale, c, &history.outflow_short);
+  }
+  for (int c = 0; c < d; ++c) {
+    const int slot = t - (d - c) * flow.slots_per_day;
+    CopyFlowRow(flow.inflow[slot], scale, c, &history.inflow_long);
+    CopyFlowRow(flow.outflow[slot], scale, c, &history.outflow_long);
+  }
+  return history;
+}
+
+namespace {
+
+Tensor SeriesWindow(const Tensor& series, int t, int window) {
+  STGNN_CHECK_GE(t - window, 0);
+  const int n = series.dim(1);
+  Tensor out({n, window});
+  for (int c = 0; c < window; ++c) {
+    const int slot = t - window + c;
+    for (int i = 0; i < n; ++i) out.at(i, c) = series.at(slot, i);
+  }
+  return out;
+}
+
+Tensor SeriesDaily(const Tensor& series, int t, int d, int slots_per_day) {
+  STGNN_CHECK_GE(t - d * slots_per_day, 0);
+  const int n = series.dim(1);
+  Tensor out({n, d});
+  for (int c = 0; c < d; ++c) {
+    const int slot = t - (d - c) * slots_per_day;
+    for (int i = 0; i < n; ++i) out.at(i, c) = series.at(slot, i);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor DemandWindow(const FlowDataset& flow, int t, int window) {
+  return SeriesWindow(flow.demand, t, window);
+}
+
+Tensor SupplyWindow(const FlowDataset& flow, int t, int window) {
+  return SeriesWindow(flow.supply, t, window);
+}
+
+Tensor DemandDaily(const FlowDataset& flow, int t, int d) {
+  return SeriesDaily(flow.demand, t, d, flow.slots_per_day);
+}
+
+Tensor SupplyDaily(const FlowDataset& flow, int t, int d) {
+  return SeriesDaily(flow.supply, t, d, flow.slots_per_day);
+}
+
+Tensor TargetAt(const FlowDataset& flow, int t) {
+  STGNN_CHECK_GE(t, 0);
+  STGNN_CHECK_LT(t, flow.num_slots);
+  const int n = flow.num_stations;
+  Tensor target({n, 2});
+  for (int i = 0; i < n; ++i) {
+    target.at(i, 0) = flow.demand.at(t, i);
+    target.at(i, 1) = flow.supply.at(t, i);
+  }
+  return target;
+}
+
+Tensor MultiStepTargetAt(const FlowDataset& flow, int t, int horizon) {
+  STGNN_CHECK_GT(horizon, 0);
+  STGNN_CHECK_GE(t, 0);
+  STGNN_CHECK_LE(t + horizon, flow.num_slots);
+  const int n = flow.num_stations;
+  Tensor target({n, 2 * horizon});
+  for (int h = 0; h < horizon; ++h) {
+    for (int i = 0; i < n; ++i) {
+      target.at(i, h) = flow.demand.at(t + h, i);
+      target.at(i, horizon + h) = flow.supply.at(t + h, i);
+    }
+  }
+  return target;
+}
+
+}  // namespace stgnn::data

@@ -1,0 +1,44 @@
+#ifndef STGNN_DATA_WINDOW_H_
+#define STGNN_DATA_WINDOW_H_
+
+#include "data/flow_dataset.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::data {
+
+// Flow history for one prediction slot t, flattened for the 1x1 flow
+// convolution: each row is one time slot (channel), each column one (i, j)
+// station pair. Values are scaled by `scale` (typically 1 / max_train_flow).
+struct StHistory {
+  tensor::Tensor inflow_short;   // [k, n*n]: slots t-k .. t-1
+  tensor::Tensor outflow_short;  // [k, n*n]
+  tensor::Tensor inflow_long;    // [d, n*n]: slot t of the last d days
+  tensor::Tensor outflow_long;   // [d, n*n]
+};
+
+// Assembles the short-term (last k slots) and long-term (same slot-of-day in
+// the last d days) flow history for predicting slot t. Requires
+// t >= FirstPredictableSlot(k, d).
+StHistory BuildStHistory(const FlowDataset& flow, int t, int k, int d,
+                         float scale);
+
+// Demand (or supply) of the last `window` slots as [n, window], newest last.
+// Used by the temporal baselines (MLP/RNN/LSTM/XGBoost/ARIMA features).
+tensor::Tensor DemandWindow(const FlowDataset& flow, int t, int window);
+tensor::Tensor SupplyWindow(const FlowDataset& flow, int t, int window);
+
+// Demand (or supply) at the same slot-of-day over the last `d` days as
+// [n, d], oldest first.
+tensor::Tensor DemandDaily(const FlowDataset& flow, int t, int d);
+tensor::Tensor SupplyDaily(const FlowDataset& flow, int t, int d);
+
+// Ground-truth [n, 2] target for slot t: column 0 demand, column 1 supply.
+tensor::Tensor TargetAt(const FlowDataset& flow, int t);
+
+// Multi-step ground truth [n, 2*h] for slots t..t+h-1: the first h columns
+// are demand, the last h are supply. Requires t + h <= num_slots.
+tensor::Tensor MultiStepTargetAt(const FlowDataset& flow, int t, int horizon);
+
+}  // namespace stgnn::data
+
+#endif  // STGNN_DATA_WINDOW_H_

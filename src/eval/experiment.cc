@@ -1,0 +1,66 @@
+#include "eval/experiment.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "data/window.h"
+
+namespace stgnn::eval {
+
+Metrics EvaluateOnTestSplit(Predictor* predictor,
+                            const data::FlowDataset& flow,
+                            const EvalWindow& window) {
+  STGNN_CHECK(predictor != nullptr);
+  MetricsAccumulator accumulator;
+  const int begin = std::max(flow.val_end, window.min_history);
+  for (int t = begin; t < flow.num_slots; ++t) {
+    if (window.begin_hour >= 0 &&
+        !flow.InHourRange(t, window.begin_hour, window.end_hour)) {
+      continue;
+    }
+    const tensor::Tensor prediction = predictor->Predict(flow, t);
+    const tensor::Tensor truth = data::TargetAt(flow, t);
+    accumulator.Add(prediction, truth);
+  }
+  return accumulator.Compute();
+}
+
+std::vector<Metrics> RunSeeds(const PredictorFactory& factory,
+                              const data::FlowDataset& flow,
+                              const EvalWindow& window, int num_seeds,
+                              uint64_t base_seed) {
+  STGNN_CHECK_GT(num_seeds, 0);
+  std::vector<Metrics> runs;
+  runs.reserve(num_seeds);
+  for (int s = 0; s < num_seeds; ++s) {
+    std::unique_ptr<Predictor> predictor = factory(base_seed + s * 1000003ULL);
+    predictor->Train(flow);
+    runs.push_back(EvaluateOnTestSplit(predictor.get(), flow, window));
+  }
+  return runs;
+}
+
+std::string FormatComparisonTable(const std::string& title,
+                                  const std::vector<TableRow>& rows) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  out << common::Format("%-14s | %-15s %-15s | %-15s %-15s\n", "Method",
+                        "Chicago RMSE", "Chicago MAE", "LA RMSE", "LA MAE");
+  out << std::string(84, '-') << "\n";
+  auto cell = [](const SeedStats& s, bool mae) {
+    const double mean = mae ? s.mean_mae : s.mean_rmse;
+    const double std = mae ? s.std_mae : s.std_rmse;
+    if (s.num_runs <= 1) return common::Format("%.3f", mean);
+    return common::Format("%.3f±%.3f", mean, std);
+  };
+  for (const TableRow& row : rows) {
+    out << common::Format("%-14s | %-15s %-15s | %-15s %-15s\n",
+                          row.model.c_str(), cell(row.chicago, false).c_str(),
+                          cell(row.chicago, true).c_str(),
+                          cell(row.los_angeles, false).c_str(),
+                          cell(row.los_angeles, true).c_str());
+  }
+  return out.str();
+}
+
+}  // namespace stgnn::eval

@@ -1,0 +1,52 @@
+#ifndef STGNN_EVAL_EXPERIMENT_H_
+#define STGNN_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/predictor.h"
+
+namespace stgnn::eval {
+
+// Which slots of the test split are evaluated.
+struct EvalWindow {
+  // Hour-of-day filter [begin_hour, end_hour); -1 disables (whole day).
+  int begin_hour = -1;
+  int end_hour = -1;
+  // Slots with t < min_history are skipped so all models see full history.
+  int min_history = 0;
+};
+
+// Evaluates a trained predictor over the test split of `flow`.
+Metrics EvaluateOnTestSplit(Predictor* predictor,
+                            const data::FlowDataset& flow,
+                            const EvalWindow& window);
+
+// Creates a fresh predictor for a seed; used for mean±std over seeds.
+using PredictorFactory =
+    std::function<std::unique_ptr<Predictor>(uint64_t seed)>;
+
+// Trains `num_seeds` fresh instances and evaluates each on the test split.
+std::vector<Metrics> RunSeeds(const PredictorFactory& factory,
+                              const data::FlowDataset& flow,
+                              const EvalWindow& window, int num_seeds,
+                              uint64_t base_seed = 1);
+
+// One row of a result table.
+struct TableRow {
+  std::string model;
+  SeedStats chicago;
+  SeedStats los_angeles;
+};
+
+// Formats rows in the layout of the paper's Table I / Table II and returns
+// the rendered text (also convenient to print from benches).
+std::string FormatComparisonTable(const std::string& title,
+                                  const std::vector<TableRow>& rows);
+
+}  // namespace stgnn::eval
+
+#endif  // STGNN_EVAL_EXPERIMENT_H_

@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stgnn::eval {
+
+void MetricsAccumulator::Add(const tensor::Tensor& prediction,
+                             const tensor::Tensor& truth) {
+  STGNN_CHECK(prediction.shape() == truth.shape());
+  STGNN_CHECK_EQ(prediction.ndim(), 2);
+  STGNN_CHECK_EQ(prediction.dim(1), 2);
+  const int n = prediction.dim(0);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 2; ++c) {
+      const double actual = truth.at(i, c);
+      if (actual == 0.0) continue;  // station inactive for this component
+      const double error = actual - prediction.at(i, c);
+      sum_squared_ += error * error;
+      sum_absolute_ += std::fabs(error);
+      ++count_;
+    }
+  }
+}
+
+Metrics MetricsAccumulator::Compute() const {
+  Metrics metrics;
+  metrics.count = count_;
+  if (count_ == 0) return metrics;
+  metrics.rmse = std::sqrt(sum_squared_ / static_cast<double>(count_));
+  metrics.mae = sum_absolute_ / static_cast<double>(count_);
+  return metrics;
+}
+
+SeedStats Summarize(const std::vector<Metrics>& runs) {
+  SeedStats stats;
+  stats.num_runs = static_cast<int>(runs.size());
+  if (runs.empty()) return stats;
+  for (const Metrics& m : runs) {
+    stats.mean_rmse += m.rmse;
+    stats.mean_mae += m.mae;
+  }
+  stats.mean_rmse /= runs.size();
+  stats.mean_mae /= runs.size();
+  if (runs.size() > 1) {
+    double var_rmse = 0.0;
+    double var_mae = 0.0;
+    for (const Metrics& m : runs) {
+      var_rmse += (m.rmse - stats.mean_rmse) * (m.rmse - stats.mean_rmse);
+      var_mae += (m.mae - stats.mean_mae) * (m.mae - stats.mean_mae);
+    }
+    stats.std_rmse = std::sqrt(var_rmse / (runs.size() - 1));
+    stats.std_mae = std::sqrt(var_mae / (runs.size() - 1));
+  }
+  return stats;
+}
+
+}  // namespace stgnn::eval

@@ -1,0 +1,51 @@
+#ifndef STGNN_EVAL_METRICS_H_
+#define STGNN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stgnn::eval {
+
+// Aggregate prediction-error metrics per the paper's Eq. (22)-(23):
+//   RMSE = sqrt((sum (x - x̂)^2 + sum (y - ŷ)^2) / 2n)
+//   MAE  = (sum |x - x̂| + sum |y - ŷ|) / 2n
+// Following the paper (and common industry practice it cites), station-slot
+// pairs with zero demand contribute no demand term and pairs with zero
+// supply contribute no supply term.
+struct Metrics {
+  double rmse = 0.0;
+  double mae = 0.0;
+  int64_t count = 0;  // number of (station, slot, demand/supply) terms kept
+};
+
+// Accumulates squared/absolute errors over many slots, then finalises.
+class MetricsAccumulator {
+ public:
+  // prediction and truth are [n, 2]: column 0 demand, column 1 supply.
+  void Add(const tensor::Tensor& prediction, const tensor::Tensor& truth);
+
+  Metrics Compute() const;
+
+ private:
+  double sum_squared_ = 0.0;
+  double sum_absolute_ = 0.0;
+  int64_t count_ = 0;
+};
+
+// Mean and standard deviation of metrics across seeds (paper tables report
+// mean±std for the learned models).
+struct SeedStats {
+  double mean_rmse = 0.0;
+  double std_rmse = 0.0;
+  double mean_mae = 0.0;
+  double std_mae = 0.0;
+  int num_runs = 0;
+};
+
+SeedStats Summarize(const std::vector<Metrics>& runs);
+
+}  // namespace stgnn::eval
+
+#endif  // STGNN_EVAL_METRICS_H_

@@ -1,0 +1,33 @@
+#ifndef STGNN_EVAL_PREDICTOR_H_
+#define STGNN_EVAL_PREDICTOR_H_
+
+#include <string>
+
+#include "data/flow_dataset.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::eval {
+
+// Interface every model in the repository implements: the paper's STGNN-DJD,
+// its ablation variants, and all eleven baselines. Train consumes the
+// dataset's training split (slots [first predictable, train_end)); Predict
+// returns raw (denormalised) demand/supply counts for one slot.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  virtual std::string name() const = 0;
+
+  // Fits the model on the training split of `flow`. Implementations may use
+  // the validation split [train_end, val_end) for model selection.
+  virtual void Train(const data::FlowDataset& flow) = 0;
+
+  // Predicts the [n, 2] demand/supply matrix for slot t (column 0 = demand,
+  // column 1 = supply), in raw bike counts. Requires t to have enough
+  // history (t >= FirstPredictableSlot for the model's window sizes).
+  virtual tensor::Tensor Predict(const data::FlowDataset& flow, int t) = 0;
+};
+
+}  // namespace stgnn::eval
+
+#endif  // STGNN_EVAL_PREDICTOR_H_

@@ -1,0 +1,156 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stgnn::graph {
+
+using tensor::Tensor;
+
+Graph::Graph(Tensor weights) : weights_(std::move(weights)) {
+  STGNN_CHECK_EQ(weights_.ndim(), 2);
+  STGNN_CHECK_EQ(weights_.dim(0), weights_.dim(1));
+  num_nodes_ = weights_.dim(0);
+}
+
+Tensor Graph::EdgeMask() const {
+  Tensor mask(weights_.shape());
+  const auto& w = weights_.data();
+  auto& m = mask.mutable_data();
+  for (size_t i = 0; i < m.size(); ++i) m[i] = w[i] != 0.0f ? 1.0f : 0.0f;
+  return mask;
+}
+
+std::vector<int> Graph::InNeighbors(int i) const {
+  STGNN_CHECK_GE(i, 0);
+  STGNN_CHECK_LT(i, num_nodes_);
+  std::vector<int> out;
+  for (int j = 0; j < num_nodes_; ++j) {
+    if (weights_.at(i, j) != 0.0f) out.push_back(j);
+  }
+  return out;
+}
+
+int64_t Graph::NumEdges() const {
+  int64_t count = 0;
+  for (float w : weights_.data()) count += w != 0.0f ? 1 : 0;
+  return count;
+}
+
+Tensor HaversineDistanceMatrix(const std::vector<double>& lat,
+                               const std::vector<double>& lon) {
+  STGNN_CHECK_EQ(lat.size(), lon.size());
+  const int n = static_cast<int>(lat.size());
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  Tensor dist({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double phi1 = lat[i] * kDegToRad;
+      const double phi2 = lat[j] * kDegToRad;
+      const double dphi = (lat[j] - lat[i]) * kDegToRad;
+      const double dlambda = (lon[j] - lon[i]) * kDegToRad;
+      const double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                       std::cos(phi1) * std::cos(phi2) *
+                           std::sin(dlambda / 2) * std::sin(dlambda / 2);
+      const double d =
+          2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(a)));
+      dist.at(i, j) = static_cast<float>(d);
+      dist.at(j, i) = static_cast<float>(d);
+    }
+  }
+  return dist;
+}
+
+Graph DistanceThresholdGraph(const Tensor& dist, double threshold,
+                             double sigma) {
+  STGNN_CHECK_EQ(dist.ndim(), 2);
+  STGNN_CHECK_EQ(dist.dim(0), dist.dim(1));
+  STGNN_CHECK_GT(sigma, 0.0);
+  const int n = dist.dim(0);
+  Tensor weights({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = dist.at(i, j);
+      if (d <= threshold) {
+        weights.at(i, j) =
+            static_cast<float>(std::exp(-(d * d) / (sigma * sigma)));
+      }
+    }
+  }
+  return Graph(std::move(weights));
+}
+
+Graph KnnGraph(const Tensor& dist, int k, double sigma) {
+  STGNN_CHECK_EQ(dist.ndim(), 2);
+  STGNN_CHECK_EQ(dist.dim(0), dist.dim(1));
+  STGNN_CHECK_GT(k, 0);
+  STGNN_CHECK_GT(sigma, 0.0);
+  const int n = dist.dim(0);
+  Tensor weights({n, n});
+  for (int i = 0; i < n; ++i) {
+    // Select the k nearest other nodes by partial sort of indices.
+    std::vector<int> order;
+    order.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    const int keep = std::min<int>(k, static_cast<int>(order.size()));
+    std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                      [&](int a, int b) { return dist.at(i, a) < dist.at(i, b); });
+    for (int idx = 0; idx < keep; ++idx) {
+      const int j = order[idx];
+      const double d = dist.at(i, j);
+      weights.at(i, j) =
+          static_cast<float>(std::exp(-(d * d) / (sigma * sigma)));
+    }
+  }
+  return Graph(std::move(weights));
+}
+
+Tensor NormalizedAdjacency(const Tensor& adjacency) {
+  STGNN_CHECK_EQ(adjacency.ndim(), 2);
+  STGNN_CHECK_EQ(adjacency.dim(0), adjacency.dim(1));
+  const int n = adjacency.dim(0);
+  Tensor with_loops = adjacency;
+  for (int i = 0; i < n; ++i) {
+    with_loops.at(i, i) += 1.0f;
+  }
+  std::vector<float> inv_sqrt_degree(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < n; ++j) degree += with_loops.at(i, j);
+    STGNN_CHECK_GT(degree, 0.0);
+    inv_sqrt_degree[i] = static_cast<float>(1.0 / std::sqrt(degree));
+  }
+  Tensor out({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out.at(i, j) =
+          inv_sqrt_degree[i] * with_loops.at(i, j) * inv_sqrt_degree[j];
+    }
+  }
+  return out;
+}
+
+Tensor RowNormalized(const Tensor& adjacency) {
+  STGNN_CHECK_EQ(adjacency.ndim(), 2);
+  STGNN_CHECK_EQ(adjacency.dim(0), adjacency.dim(1));
+  const int n = adjacency.dim(0);
+  Tensor out = adjacency;
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) row_sum += out.at(i, j);
+    if (row_sum == 0.0) {
+      out.at(i, i) = 1.0f;
+      continue;
+    }
+    for (int j = 0; j < n; ++j) {
+      out.at(i, j) = static_cast<float>(out.at(i, j) / row_sum);
+    }
+  }
+  return out;
+}
+
+}  // namespace stgnn::graph

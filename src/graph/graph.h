@@ -1,0 +1,61 @@
+#ifndef STGNN_GRAPH_GRAPH_H_
+#define STGNN_GRAPH_GRAPH_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stgnn::graph {
+
+// A weighted directed graph over a fixed node set, stored as a dense [n, n]
+// weight matrix: weights.at(i, j) is the weight of edge j -> i (the
+// "messages flow into row i" convention used by all aggregators here).
+// Zero means no edge. Dense storage is the right trade-off at the station
+// counts this library targets (tens to hundreds of nodes).
+class Graph {
+ public:
+  explicit Graph(tensor::Tensor weights);
+
+  int num_nodes() const { return num_nodes_; }
+  const tensor::Tensor& weights() const { return weights_; }
+
+  // 0/1 mask of the same shape (1 where an edge exists).
+  tensor::Tensor EdgeMask() const;
+
+  // In-neighbours of node i (j such that weight(i, j) != 0).
+  std::vector<int> InNeighbors(int i) const;
+
+  int64_t NumEdges() const;
+
+ private:
+  int num_nodes_;
+  tensor::Tensor weights_;
+};
+
+// Pairwise haversine distance matrix (kilometres) from parallel latitude /
+// longitude arrays.
+tensor::Tensor HaversineDistanceMatrix(const std::vector<double>& lat,
+                                       const std::vector<double>& lon);
+
+// Graph with an edge between stations closer than `threshold` (distance
+// units of `dist`), weighted by a Gaussian kernel exp(-d^2 / sigma^2).
+// This is the construction used by the distance-based baselines (GCNN,
+// GBike, ASTGCN) that assume locality.
+Graph DistanceThresholdGraph(const tensor::Tensor& dist, double threshold,
+                             double sigma);
+
+// k-nearest-neighbour graph (directed: each node points to its k nearest),
+// weighted by the same Gaussian kernel.
+Graph KnnGraph(const tensor::Tensor& dist, int k, double sigma);
+
+// Symmetrically normalised adjacency with self-loops,
+// D^{-1/2} (A + I) D^{-1/2}, as used by Kipf-Welling GCN.
+tensor::Tensor NormalizedAdjacency(const tensor::Tensor& adjacency);
+
+// Row-normalised transition matrix: each row sums to 1 (rows with zero sum
+// get a self-loop).
+tensor::Tensor RowNormalized(const tensor::Tensor& adjacency);
+
+}  // namespace stgnn::graph
+
+#endif  // STGNN_GRAPH_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "graph/layers.h"
+
+#include "nn/init.h"
+
+namespace stgnn::graph {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+
+GcnLayer::GcnLayer(int in_features, int out_features, common::Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", nn::XavierUniform2d(in_features, out_features, rng));
+  bias_ = RegisterParameter("bias",
+                            tensor::Tensor::Zeros({1, out_features}));
+}
+
+Variable GcnLayer::Forward(const Variable& h, const Variable& norm_adj,
+                           bool apply_relu) const {
+  STGNN_CHECK_EQ(h.value().dim(1), in_features_);
+  Variable out = ag::MatMul(ag::MatMul(norm_adj, h), weight_);
+  out = ag::Add(out, bias_);
+  return apply_relu ? ag::Relu(out) : out;
+}
+
+GatLayer::GatLayer(int in_features, int out_features, common::Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(
+      "weight", nn::XavierUniform2d(in_features, out_features, rng));
+  a_src_ = RegisterParameter(
+      "a_src", nn::XavierUniform({out_features, 1}, out_features, 1, rng));
+  a_dst_ = RegisterParameter(
+      "a_dst", nn::XavierUniform({out_features, 1}, out_features, 1, rng));
+}
+
+Variable GatLayer::Forward(const Variable& h,
+                           const Variable& edge_mask) const {
+  STGNN_CHECK_EQ(h.value().dim(1), in_features_);
+  const int n = h.value().dim(0);
+  Variable projected = ag::MatMul(h, weight_);  // [n, out]
+  // e(i, j) = elu(s_i + d_j) where s = P a_src, d = P a_dst; computed as an
+  // outer sum via broadcasting: s is [n, 1], d^T is [1, n].
+  Variable scores_src = ag::MatMul(projected, a_src_);           // [n, 1]
+  Variable scores_dst = ag::Transpose(ag::MatMul(projected, a_dst_));  // [1, n]
+  Variable e = ag::Elu(ag::Add(scores_src, scores_dst));  // [n, n]
+  // Mask non-edges with a large negative value so softmax ignores them.
+  Variable neg_inf_mask = Variable::Constant(tensor::MulScalar(
+      tensor::AddScalar(edge_mask.value(), -1.0f), 1e9f));  // 0 on edges
+  Variable attention = ag::RowSoftmax(ag::Add(e, neg_inf_mask));
+  last_attention_ = attention.value();
+  (void)n;
+  return ag::Elu(ag::MatMul(attention, projected));
+}
+
+}  // namespace stgnn::graph

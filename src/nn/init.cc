@@ -1,0 +1,43 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace stgnn::nn {
+
+tensor::Tensor XavierUniform(tensor::Shape shape, int fan_in, int fan_out,
+                             common::Rng* rng) {
+  STGNN_CHECK_GT(fan_in + fan_out, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return tensor::Tensor::RandomUniform(std::move(shape), -bound, bound, rng);
+}
+
+tensor::Tensor XavierUniform2d(int fan_in, int fan_out, common::Rng* rng) {
+  return XavierUniform({fan_in, fan_out}, fan_in, fan_out, rng);
+}
+
+tensor::Tensor KaimingNormal(tensor::Shape shape, int fan_in,
+                             common::Rng* rng) {
+  STGNN_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return tensor::Tensor::RandomNormal(std::move(shape), 0.0f, stddev, rng);
+}
+
+tensor::Tensor NearIdentity(int n, float noise_scale, common::Rng* rng) {
+  tensor::Tensor w = XavierUniform2d(n, n, rng);
+  w = tensor::MulScalar(w, noise_scale);
+  for (int i = 0; i < n; ++i) w.at(i, i) += 1.0f;
+  return w;
+}
+
+tensor::Tensor HeadMergeInit(int num_heads, int n, float noise_scale,
+                             common::Rng* rng) {
+  tensor::Tensor w = XavierUniform({num_heads * n, n}, num_heads * n, n, rng);
+  w = tensor::MulScalar(w, noise_scale);
+  const float share = 1.0f / static_cast<float>(num_heads);
+  for (int h = 0; h < num_heads; ++h) {
+    for (int i = 0; i < n; ++i) w.at(h * n + i, i) += share;
+  }
+  return w;
+}
+
+}  // namespace stgnn::nn

@@ -1,0 +1,32 @@
+#ifndef STGNN_NN_INIT_H_
+#define STGNN_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::nn {
+
+// Glorot/Xavier uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+tensor::Tensor XavierUniform(tensor::Shape shape, int fan_in, int fan_out,
+                             common::Rng* rng);
+
+// Xavier for a [fan_in, fan_out] weight matrix.
+tensor::Tensor XavierUniform2d(int fan_in, int fan_out, common::Rng* rng);
+
+// Kaiming/He normal initialisation for ReLU stacks: N(0, sqrt(2/fan_in)).
+tensor::Tensor KaimingNormal(tensor::Shape shape, int fan_in,
+                             common::Rng* rng);
+
+// Identity plus scaled Xavier noise for square feature-mixing layers in
+// deep GNN stacks: the layer starts as a near-pass-through so stacked
+// aggregation preserves signal at initialisation, and learns deviations.
+tensor::Tensor NearIdentity(int n, float noise_scale, common::Rng* rng);
+
+// [m*n, n] head-merge initialisation: vertically stacked I/m blocks plus
+// noise, so concatenated multi-head outputs initially average the heads.
+tensor::Tensor HeadMergeInit(int num_heads, int n, float noise_scale,
+                             common::Rng* rng);
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_INIT_H_

@@ -1,0 +1,48 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace stgnn::nn {
+
+using autograd::Variable;
+
+Linear::Linear(int in_features, int out_features, common::Rng* rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  STGNN_CHECK_GT(in_features, 0);
+  STGNN_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform2d(in_features, out_features, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias",
+                              tensor::Tensor::Zeros({1, out_features}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  STGNN_CHECK_EQ(x.value().ndim(), 2);
+  STGNN_CHECK_EQ(x.value().dim(1), in_features_);
+  Variable out = autograd::MatMul(x, weight_);
+  if (bias_.defined()) out = autograd::Add(out, bias_);
+  return out;
+}
+
+Mlp::Mlp(const std::vector<int>& layer_sizes, common::Rng* rng) {
+  STGNN_CHECK_GE(layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    layers_.push_back(
+        std::make_unique<Linear>(layer_sizes[i], layer_sizes[i + 1], rng));
+    RegisterSubmodule(layers_.back().get());
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = autograd::Relu(h);
+  }
+  return h;
+}
+
+}  // namespace stgnn::nn

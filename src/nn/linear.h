@@ -1,0 +1,43 @@
+#ifndef STGNN_NN_LINEAR_H_
+#define STGNN_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace stgnn::nn {
+
+// Affine map y = x W + b for x of shape [batch, in_features].
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, common::Rng* rng,
+         bool with_bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  autograd::Variable weight_;  // [in, out]
+  autograd::Variable bias_;    // [1, out]; undefined when bias disabled
+};
+
+// A stack of Linear layers with ReLU between them (none after the last).
+class Mlp : public Module {
+ public:
+  // `layer_sizes` = {in, hidden..., out}; at least two entries.
+  Mlp(const std::vector<int>& layer_sizes, common::Rng* rng);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_LINEAR_H_

@@ -1,0 +1,41 @@
+#include "nn/loss.h"
+
+namespace stgnn::nn {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+
+Variable MseLoss(const Variable& prediction, const Variable& target) {
+  STGNN_CHECK(prediction.value().shape() == target.value().shape())
+      << "MseLoss shape mismatch";
+  return ag::MeanAll(ag::Square(ag::Sub(prediction, target)));
+}
+
+Variable JointDemandSupplyLoss(const Variable& prediction,
+                               const Variable& target) {
+  STGNN_CHECK(prediction.value().shape() == target.value().shape());
+  STGNN_CHECK_EQ(prediction.value().ndim(), 2);
+  STGNN_CHECK_EQ(prediction.value().dim(1), 2);
+  const int n = prediction.value().dim(0);
+  Variable sq = ag::Square(ag::Sub(prediction, target));
+  // mean over stations for each of the two columns, then sum: equivalent to
+  // sum(sq)/n since both columns share the 1/n factor in Eq. (21).
+  Variable sum = ag::SumAll(sq);
+  Variable inside = ag::MulScalar(sum, 1.0f / static_cast<float>(n));
+  // Guard sqrt(0) gradients with a tiny epsilon.
+  return ag::Sqrt(ag::AddScalar(inside, 1e-8f));
+}
+
+Variable MultiStepJointLoss(const Variable& prediction,
+                            const Variable& target) {
+  STGNN_CHECK(prediction.value().shape() == target.value().shape());
+  STGNN_CHECK_EQ(prediction.value().ndim(), 2);
+  STGNN_CHECK_EQ(prediction.value().dim(1) % 2, 0);
+  const int n = prediction.value().dim(0);
+  Variable sq = ag::Square(ag::Sub(prediction, target));
+  Variable sum = ag::SumAll(sq);
+  Variable inside = ag::MulScalar(sum, 1.0f / static_cast<float>(n));
+  return ag::Sqrt(ag::AddScalar(inside, 1e-8f));
+}
+
+}  // namespace stgnn::nn

@@ -1,0 +1,26 @@
+#ifndef STGNN_NN_LOSS_H_
+#define STGNN_NN_LOSS_H_
+
+#include "autograd/ops.h"
+
+namespace stgnn::nn {
+
+// Mean squared error over all elements.
+autograd::Variable MseLoss(const autograd::Variable& prediction,
+                           const autograd::Variable& target);
+
+// Mean absolute-ish smooth loss is not used by the paper; RMSE-style joint
+// loss per Eq. (21): L = sqrt(mean((x - x̂)^2) + mean((y - ŷ)^2)) where
+// column 0 of [n, 2] is demand and column 1 is supply.
+autograd::Variable JointDemandSupplyLoss(const autograd::Variable& prediction,
+                                         const autograd::Variable& target);
+
+// Multi-step generalisation of Eq. (21) for [n, 2*h] outputs (h demand
+// columns then h supply columns): sqrt of the summed per-column mean squared
+// errors. Equal to JointDemandSupplyLoss when h = 1.
+autograd::Variable MultiStepJointLoss(const autograd::Variable& prediction,
+                                      const autograd::Variable& target);
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_LOSS_H_

@@ -1,0 +1,37 @@
+#include "nn/module.h"
+
+namespace stgnn::nn {
+
+std::vector<autograd::Variable> Module::parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, param] : params_) out.push_back(param);
+  for (const Module* sub : submodules_) {
+    auto sub_params = sub->parameters();
+    out.insert(out.end(), sub_params.begin(), sub_params.end());
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& param : parameters()) param.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& param : parameters()) total += param.value().size();
+  return total;
+}
+
+autograd::Variable Module::RegisterParameter(std::string name,
+                                             tensor::Tensor init) {
+  autograd::Variable param = autograd::Variable::Parameter(std::move(init));
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterSubmodule(Module* submodule) {
+  STGNN_CHECK(submodule != nullptr);
+  submodules_.push_back(submodule);
+}
+
+}  // namespace stgnn::nn

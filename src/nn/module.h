@@ -1,0 +1,54 @@
+#ifndef STGNN_NN_MODULE_H_
+#define STGNN_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace stgnn::nn {
+
+// Base class for trainable components. Subclasses register their parameters
+// in the constructor; optimizers pull them via parameters(). Modules are not
+// copyable: parameter identity matters (optimizer state is keyed on it).
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module, including submodules'.
+  std::vector<autograd::Variable> parameters() const;
+
+  // Named parameters for inspection/serialization.
+  const std::vector<std::pair<std::string, autograd::Variable>>&
+  named_parameters() const {
+    return params_;
+  }
+
+  // Clears gradients of all parameters.
+  void ZeroGrad();
+
+  // Total number of scalar weights.
+  int64_t NumParameters() const;
+
+ protected:
+  // Registers a trainable parameter and returns the handle.
+  autograd::Variable RegisterParameter(std::string name,
+                                       tensor::Tensor init);
+
+  // Registers a submodule so its parameters are exposed through this one.
+  // The submodule must outlive this module (typically a data member).
+  void RegisterSubmodule(Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<Module*> submodules_;
+};
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_MODULE_H_

@@ -1,0 +1,108 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace stgnn::nn {
+
+using autograd::Variable;
+using tensor::Tensor;
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    STGNN_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameter must be a defined trainable Variable";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  STGNN_CHECK_GT(learning_rate, 0.0f);
+  STGNN_CHECK_GE(momentum, 0.0f);
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor grad = params_[i].grad();
+    Tensor& vel = velocity_[i];
+    if (momentum_ > 0.0f) {
+      vel = tensor::Add(tensor::MulScalar(vel, momentum_), grad);
+    } else {
+      vel = grad;
+    }
+    params_[i].SetValue(tensor::Sub(params_[i].value(),
+                                    tensor::MulScalar(vel, learning_rate_)));
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float learning_rate, float beta1,
+           float beta2, float epsilon)
+    : Optimizer(std::move(params)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  STGNN_CHECK_GT(learning_rate, 0.0f);
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const auto& p : params_) {
+    first_moment_.push_back(Tensor::Zeros(p.value().shape()));
+    second_moment_.push_back(Tensor::Zeros(p.value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Tensor grad = params_[i].grad();
+    Tensor& m = first_moment_[i];
+    Tensor& v = second_moment_[i];
+    m = tensor::Add(tensor::MulScalar(m, beta1_),
+                    tensor::MulScalar(grad, 1.0f - beta1_));
+    v = tensor::Add(tensor::MulScalar(v, beta2_),
+                    tensor::MulScalar(tensor::Square(grad), 1.0f - beta2_));
+    // Update = lr * (m / bias1) / (sqrt(v / bias2) + eps), fused per element.
+    const auto& md = m.data();
+    const auto& vd = v.data();
+    Tensor value = params_[i].value();
+    auto& pd = value.mutable_data();
+    for (size_t j = 0; j < pd.size(); ++j) {
+      const float m_hat = md[j] / bias1;
+      const float v_hat = vd[j] / bias2;
+      pd[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    params_[i].SetValue(std::move(value));
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  STGNN_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    const tensor::Tensor grad = p.grad();
+    for (float g : grad.data()) total_sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params) {
+      if (!p.node()->grad_initialized) continue;
+      p.node()->grad = tensor::MulScalar(p.node()->grad, scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace stgnn::nn

@@ -1,0 +1,73 @@
+#ifndef STGNN_NN_OPTIMIZER_H_
+#define STGNN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace stgnn::nn {
+
+// Base optimizer holding references to the parameters it updates.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  // Clears all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, 2014) — the optimizer the paper trains with.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float learning_rate = 0.01f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void Step() override;
+
+  void set_learning_rate(float learning_rate) {
+    learning_rate_ = learning_rate;
+  }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<tensor::Tensor> first_moment_;
+  std::vector<tensor::Tensor> second_moment_;
+};
+
+// Scales gradients in place so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<autograd::Variable>& params,
+                   float max_norm);
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_OPTIMIZER_H_

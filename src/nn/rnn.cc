@@ -1,0 +1,93 @@
+#include "nn/rnn.h"
+
+#include "nn/init.h"
+
+namespace stgnn::nn {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+
+RnnCell::RnnCell(int input_size, int hidden_size, common::Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  STGNN_CHECK_GT(input_size, 0);
+  STGNN_CHECK_GT(hidden_size, 0);
+  w_xh_ = RegisterParameter("w_xh",
+                            XavierUniform2d(input_size, hidden_size, rng));
+  w_hh_ = RegisterParameter("w_hh",
+                            XavierUniform2d(hidden_size, hidden_size, rng));
+  bias_ = RegisterParameter("bias", tensor::Tensor::Zeros({1, hidden_size}));
+}
+
+Variable RnnCell::Forward(const Variable& x, const Variable& h) const {
+  STGNN_CHECK_EQ(x.value().dim(1), input_size_);
+  STGNN_CHECK_EQ(h.value().dim(1), hidden_size_);
+  Variable pre = ag::Add(ag::Add(ag::MatMul(x, w_xh_), ag::MatMul(h, w_hh_)),
+                         bias_);
+  return ag::Tanh(pre);
+}
+
+Variable RnnCell::InitialState(int batch) const {
+  return Variable::Constant(tensor::Tensor::Zeros({batch, hidden_size_}));
+}
+
+LstmCell::LstmCell(int input_size, int hidden_size, common::Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  STGNN_CHECK_GT(input_size, 0);
+  STGNN_CHECK_GT(hidden_size, 0);
+  w_x_ = RegisterParameter(
+      "w_x", XavierUniform({input_size, 4 * hidden_size}, input_size,
+                           hidden_size, rng));
+  w_h_ = RegisterParameter(
+      "w_h", XavierUniform({hidden_size, 4 * hidden_size}, hidden_size,
+                           hidden_size, rng));
+  // Forget-gate bias 1 so early training does not erase the cell state.
+  tensor::Tensor bias = tensor::Tensor::Zeros({1, 4 * hidden_size});
+  for (int j = hidden_size; j < 2 * hidden_size; ++j) bias.at(0, j) = 1.0f;
+  bias_ = RegisterParameter("bias", std::move(bias));
+}
+
+LstmCell::State LstmCell::Forward(const Variable& x, const State& state) const {
+  STGNN_CHECK_EQ(x.value().dim(1), input_size_);
+  Variable gates = ag::Add(
+      ag::Add(ag::MatMul(x, w_x_), ag::MatMul(state.h, w_h_)), bias_);
+  // Split the fused gate activation into i, f, g, o column blocks.
+  // Concat/slice on columns goes through transpose-free column slicing via
+  // Concat's inverse; here we slice by building a transpose.
+  Variable gates_t = ag::Transpose(gates);  // [4H, batch]
+  const int hidden = hidden_size_;
+  Variable i_gate = ag::Sigmoid(ag::Transpose(
+      ag::SliceRows(gates_t, 0, hidden)));
+  Variable f_gate = ag::Sigmoid(ag::Transpose(
+      ag::SliceRows(gates_t, hidden, 2 * hidden)));
+  Variable g_gate = ag::Tanh(ag::Transpose(
+      ag::SliceRows(gates_t, 2 * hidden, 3 * hidden)));
+  Variable o_gate = ag::Sigmoid(ag::Transpose(
+      ag::SliceRows(gates_t, 3 * hidden, 4 * hidden)));
+  State next;
+  next.c = ag::Add(ag::Mul(f_gate, state.c), ag::Mul(i_gate, g_gate));
+  next.h = ag::Mul(o_gate, ag::Tanh(next.c));
+  return next;
+}
+
+LstmCell::State LstmCell::InitialState(int batch) const {
+  State state;
+  state.h = Variable::Constant(tensor::Tensor::Zeros({batch, hidden_size_}));
+  state.c = Variable::Constant(tensor::Tensor::Zeros({batch, hidden_size_}));
+  return state;
+}
+
+Variable RunRnn(const RnnCell& cell, const std::vector<Variable>& sequence,
+                int batch) {
+  Variable h = cell.InitialState(batch);
+  for (const auto& x : sequence) h = cell.Forward(x, h);
+  return h;
+}
+
+Variable RunLstm(const LstmCell& cell, const std::vector<Variable>& sequence,
+                 int batch) {
+  LstmCell::State state = cell.InitialState(batch);
+  for (const auto& x : sequence) state = cell.Forward(x, state);
+  return state.h;
+}
+
+}  // namespace stgnn::nn

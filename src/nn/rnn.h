@@ -1,0 +1,71 @@
+#ifndef STGNN_NN_RNN_H_
+#define STGNN_NN_RNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace stgnn::nn {
+
+// Vanilla (Elman) recurrent cell: h' = tanh(x Wxh + h Whh + b).
+class RnnCell : public Module {
+ public:
+  RnnCell(int input_size, int hidden_size, common::Rng* rng);
+
+  // x: [batch, input], h: [batch, hidden] -> [batch, hidden].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h) const;
+
+  // Zero state for a batch.
+  autograd::Variable InitialState(int batch) const;
+
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  autograd::Variable w_xh_;  // [input, hidden]
+  autograd::Variable w_hh_;  // [hidden, hidden]
+  autograd::Variable bias_;  // [1, hidden]
+};
+
+// Standard LSTM cell with forget-gate bias initialised to 1.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_size, int hidden_size, common::Rng* rng);
+
+  struct State {
+    autograd::Variable h;  // hidden
+    autograd::Variable c;  // cell
+  };
+
+  State Forward(const autograd::Variable& x, const State& state) const;
+
+  State InitialState(int batch) const;
+
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  // Fused gate weights: [input, 4*hidden] / [hidden, 4*hidden] / [1, 4*hidden]
+  // with gate order (input, forget, cell, output).
+  autograd::Variable w_x_;
+  autograd::Variable w_h_;
+  autograd::Variable bias_;
+};
+
+// Runs a cell over a sequence [seq_len][batch, input] and returns the final
+// hidden state.
+autograd::Variable RunRnn(const RnnCell& cell,
+                          const std::vector<autograd::Variable>& sequence,
+                          int batch);
+autograd::Variable RunLstm(const LstmCell& cell,
+                           const std::vector<autograd::Variable>& sequence,
+                           int batch);
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_RNN_H_

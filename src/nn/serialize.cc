@@ -1,0 +1,117 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace stgnn::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'G', 'N', 'N', '0', '0', '1'};
+
+// Collects named parameters including submodules, in registration order.
+// Module::parameters() flattens values; we need names too, so walk the same
+// order: own named parameters first, then submodules'. Module does not
+// expose submodule names, so names may repeat across submodules — order
+// disambiguates.
+void CollectNamed(const Module& module,
+                  std::vector<std::pair<std::string, autograd::Variable>>*
+                      out) {
+  // parameters() returns own + submodules in order; named_parameters() only
+  // covers own. Reconstruct by zipping: own named first, then the rest of
+  // parameters() with synthesized names.
+  const auto& own = module.named_parameters();
+  const auto all = module.parameters();
+  for (const auto& entry : own) out->push_back(entry);
+  for (size_t i = own.size(); i < all.size(); ++i) {
+    out->push_back({"sub_param_" + std::to_string(i), all[i]});
+  }
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::vector<std::pair<std::string, autograd::Variable>> params;
+  CollectNamed(module, &params);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, param] : params) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), name_len);
+    const tensor::Tensor& value = param.value();
+    const uint32_t ndim = static_cast<uint32_t>(value.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int d = 0; d < value.ndim(); ++d) {
+      const int32_t extent = value.dim(d);
+      out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+    }
+    out.write(reinterpret_cast<const char*>(value.data().data()),
+              static_cast<std::streamsize>(value.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path, Module* module) {
+  STGNN_CHECK(module != nullptr);
+  std::vector<std::pair<std::string, autograd::Variable>> params;
+  CollectNamed(*module, &params);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path);
+  }
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(params.size()));
+  }
+  for (auto& [name, param] : params) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return Status::InvalidArgument("corrupt checkpoint (name length)");
+    }
+    std::string stored_name(name_len, '\0');
+    in.read(stored_name.data(), name_len);
+    if (stored_name != name) {
+      return Status::InvalidArgument("parameter name mismatch: checkpoint '" +
+                                     stored_name + "' vs module '" + name +
+                                     "'");
+    }
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 8) {
+      return Status::InvalidArgument("corrupt checkpoint (rank)");
+    }
+    tensor::Shape shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      int32_t extent = 0;
+      in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
+      shape[d] = extent;
+    }
+    if (shape != param.value().shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for '" + name + "': checkpoint " +
+          tensor::ShapeToString(shape) + " vs module " +
+          tensor::ShapeToString(param.value().shape()));
+    }
+    tensor::Tensor value(shape);
+    in.read(reinterpret_cast<char*>(value.mutable_data().data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated checkpoint: " + path);
+    param.SetValue(std::move(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace stgnn::nn

@@ -1,0 +1,28 @@
+#ifndef STGNN_NN_SERIALIZE_H_
+#define STGNN_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nn/module.h"
+
+namespace stgnn::nn {
+
+// Binary checkpoint format for module parameters (little-endian host order):
+//   magic "STGNN001", uint32 param count, then per parameter:
+//   uint32 name length, name bytes, uint32 ndim, int32 dims, float32 data.
+// Parameters are matched by registration order and name on load; shape
+// mismatches fail with InvalidArgument and leave the module unchanged until
+// the failing entry.
+
+// Writes every (transitively registered) parameter of `module` to `path`.
+Status SaveParameters(const Module& module, const std::string& path);
+
+// Loads a checkpoint written by SaveParameters into `module`. The module
+// must have the same parameter names and shapes in the same order (i.e. be
+// constructed with the same configuration).
+Status LoadParameters(const std::string& path, Module* module);
+
+}  // namespace stgnn::nn
+
+#endif  // STGNN_NN_SERIALIZE_H_

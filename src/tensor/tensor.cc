@@ -1,0 +1,571 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace stgnn::tensor {
+
+namespace {
+
+// Row-major strides for a shape.
+std::vector<int64_t> ComputeStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t count = 1;
+  for (int extent : shape) {
+    STGNN_CHECK_GE(extent, 0);
+    count *= extent;
+  }
+  return count;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor() : shape_{}, data_(1, 0.0f) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  STGNN_CHECK_EQ(NumElements(shape_), static_cast<int64_t>(data_.size()))
+      << "shape " << ShapeToString(shape_) << " vs " << data_.size()
+      << " elements";
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t;
+  t.data_[0] = value;
+  return t;
+}
+
+Tensor Tensor::Eye(int n) {
+  STGNN_CHECK_GT(n, 0);
+  Tensor t({n, n});
+  for (int i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<float> values) {
+  const int n = static_cast<int>(values.size());
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::RandomUniform(Shape shape, float lo, float hi,
+                             common::Rng* rng) {
+  STGNN_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, float mean, float stddev,
+                            common::Rng* rng) {
+  STGNN_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+int Tensor::dim(int axis) const {
+  STGNN_CHECK_GE(axis, 0);
+  STGNN_CHECK_LT(axis, ndim());
+  return shape_[axis];
+}
+
+float Tensor::flat(int64_t index) const {
+  STGNN_CHECK_GE(index, 0);
+  STGNN_CHECK_LT(index, size());
+  return data_[static_cast<size_t>(index)];
+}
+
+float& Tensor::flat(int64_t index) {
+  STGNN_CHECK_GE(index, 0);
+  STGNN_CHECK_LT(index, size());
+  return data_[static_cast<size_t>(index)];
+}
+
+float& Tensor::at(int i) {
+  STGNN_CHECK_EQ(ndim(), 1);
+  return flat(i);
+}
+
+float Tensor::at(int i) const {
+  STGNN_CHECK_EQ(ndim(), 1);
+  return flat(i);
+}
+
+float& Tensor::at(int i, int j) {
+  STGNN_CHECK_EQ(ndim(), 2);
+  STGNN_CHECK_GE(i, 0);
+  STGNN_CHECK_LT(i, shape_[0]);
+  STGNN_CHECK_GE(j, 0);
+  STGNN_CHECK_LT(j, shape_[1]);
+  return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float Tensor::at(int i, int j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(int i, int j, int k) {
+  STGNN_CHECK_EQ(ndim(), 3);
+  STGNN_CHECK_GE(i, 0);
+  STGNN_CHECK_LT(i, shape_[0]);
+  STGNN_CHECK_GE(j, 0);
+  STGNN_CHECK_LT(j, shape_[1]);
+  STGNN_CHECK_GE(k, 0);
+  STGNN_CHECK_LT(k, shape_[2]);
+  return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(int i, int j, int k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float Tensor::item() const {
+  STGNN_CHECK_EQ(size(), 1) << "item() on tensor with " << size()
+                            << " elements";
+  return data_[0];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int infer_axis = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      STGNN_CHECK_EQ(infer_axis, -1) << "multiple -1 extents in Reshape";
+      infer_axis = static_cast<int>(i);
+    } else {
+      STGNN_CHECK_GE(new_shape[i], 0);
+      known *= new_shape[i];
+    }
+  }
+  if (infer_axis >= 0) {
+    STGNN_CHECK_GT(known, 0);
+    STGNN_CHECK_EQ(size() % known, 0)
+        << "cannot infer axis in Reshape to " << ShapeToString(new_shape);
+    new_shape[infer_axis] = static_cast<int>(size() / known);
+  }
+  STGNN_CHECK_EQ(NumElements(new_shape), size())
+      << "Reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Transpose() const {
+  STGNN_CHECK_EQ(ndim(), 2);
+  const int rows = shape_[0];
+  const int cols = shape_[1];
+  Tensor out({cols, rows});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out.at(j, i) = at(i, j);
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::SliceRows(int begin, int end) const {
+  STGNN_CHECK_GE(ndim(), 1);
+  STGNN_CHECK_GE(begin, 0);
+  STGNN_CHECK_LE(begin, end);
+  STGNN_CHECK_LE(end, shape_[0]);
+  Shape out_shape = shape_;
+  out_shape[0] = end - begin;
+  const int64_t row_size = shape_[0] == 0 ? 0 : size() / shape_[0];
+  std::vector<float> out_data(
+      data_.begin() + static_cast<size_t>(begin * row_size),
+      data_.begin() + static_cast<size_t>(end * row_size));
+  return Tensor(std::move(out_shape), std::move(out_data));
+}
+
+Tensor Tensor::Row(int i) const {
+  STGNN_CHECK_EQ(ndim(), 2);
+  return SliceRows(i, i + 1);
+}
+
+Tensor Tensor::Col(int j) const {
+  STGNN_CHECK_EQ(ndim(), 2);
+  STGNN_CHECK_GE(j, 0);
+  STGNN_CHECK_LT(j, shape_[1]);
+  Tensor out({shape_[0], 1});
+  for (int i = 0; i < shape_[0]; ++i) out.at(i, 0) = at(i, j);
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+bool Tensor::AllClose(const Tensor& other, float tolerance) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t preview = std::min<int64_t>(size(), 16);
+  for (int64_t i = 0; i < preview; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (preview < size()) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (int i = 0; i < rank; ++i) {
+    const int ai = i < rank - static_cast<int>(a.size())
+                       ? 1
+                       : a[i - (rank - static_cast<int>(a.size()))];
+    const int bi = i < rank - static_cast<int>(b.size())
+                       ? 1
+                       : b[i - (rank - static_cast<int>(b.size()))];
+    STGNN_CHECK(ai == bi || ai == 1 || bi == 1)
+        << "incompatible broadcast " << ShapeToString(a) << " vs "
+        << ShapeToString(b);
+    out[i] = std::max(ai, bi);
+  }
+  return out;
+}
+
+namespace {
+
+// Applies `fn` elementwise over broadcast operands.
+template <typename Fn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const auto& da = a.data();
+    const auto& db = b.data();
+    auto& dout = out.mutable_data();
+    for (size_t i = 0; i < dout.size(); ++i) dout[i] = fn(da[i], db[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int rank = static_cast<int>(out_shape.size());
+
+  // Align operand shapes to the output rank with leading 1s.
+  auto aligned = [rank](const Shape& s) {
+    Shape r(rank, 1);
+    std::copy(s.begin(), s.end(), r.begin() + (rank - s.size()));
+    return r;
+  };
+  const Shape sa = aligned(a.shape());
+  const Shape sb = aligned(b.shape());
+  const auto stra = ComputeStrides(sa);
+  const auto strb = ComputeStrides(sb);
+
+  std::vector<int> index(rank, 0);
+  auto& dout = out.mutable_data();
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (int64_t flat = 0; flat < out.size(); ++flat) {
+    int64_t ia = 0;
+    int64_t ib = 0;
+    for (int d = 0; d < rank; ++d) {
+      ia += (sa[d] == 1 ? 0 : index[d]) * stra[d];
+      ib += (sb[d] == 1 ? 0 : index[d]) * strb[d];
+    }
+    dout[static_cast<size_t>(flat)] = fn(da[static_cast<size_t>(ia)],
+                                         db[static_cast<size_t>(ib)]);
+    // Advance the multi-index.
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++index[d] < out_shape[d]) break;
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor UnaryMap(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const auto& da = a.data();
+  auto& dout = out.mutable_data();
+  for (size_t i = 0; i < dout.size(); ++i) dout[i] = fn(da[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return x * x; });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return std::fabs(x); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Elu(const Tensor& a, float alpha) {
+  return UnaryMap(a, [alpha](float x) {
+    return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+  });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryMap(a, [](float x) { return std::tanh(x); });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  STGNN_CHECK_LE(lo, hi);
+  return UnaryMap(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryMap(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryMap(a, [s](float x) { return x * s; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STGNN_CHECK_EQ(a.ndim(), 2);
+  STGNN_CHECK_EQ(b.ndim(), 2);
+  STGNN_CHECK_EQ(a.dim(1), b.dim(0))
+      << "MatMul " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.mutable_data().data();
+  // ikj loop order keeps the inner loop contiguous over b and out.
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aval = pa[static_cast<size_t>(i) * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = pb + static_cast<size_t>(p) * n;
+      float* orow = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0.0;
+  for (float v : a.data()) total += v;
+  return Tensor::Scalar(static_cast<float>(total));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  STGNN_CHECK_GT(a.size(), 0);
+  return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.size()));
+}
+
+float MaxAll(const Tensor& a) {
+  STGNN_CHECK_GT(a.size(), 0);
+  return *std::max_element(a.data().begin(), a.data().end());
+}
+
+float MinAll(const Tensor& a) {
+  STGNN_CHECK_GT(a.size(), 0);
+  return *std::min_element(a.data().begin(), a.data().end());
+}
+
+namespace {
+
+template <typename Init, typename Accum>
+Tensor ReduceAxis2d(const Tensor& a, int axis, bool keepdims, Init init,
+                    Accum accum) {
+  STGNN_CHECK_EQ(a.ndim(), 2);
+  STGNN_CHECK(axis == 0 || axis == 1);
+  const int rows = a.dim(0);
+  const int cols = a.dim(1);
+  const int out_len = axis == 0 ? cols : rows;
+  std::vector<float> out(static_cast<size_t>(out_len), init());
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      float& slot = out[static_cast<size_t>(axis == 0 ? j : i)];
+      slot = accum(slot, a.at(i, j));
+    }
+  }
+  Shape shape;
+  if (keepdims) {
+    shape = axis == 0 ? Shape{1, cols} : Shape{rows, 1};
+  } else {
+    shape = Shape{out_len};
+  }
+  return Tensor(std::move(shape), std::move(out));
+}
+
+}  // namespace
+
+Tensor SumAxis(const Tensor& a, int axis, bool keepdims) {
+  return ReduceAxis2d(
+      a, axis, keepdims, [] { return 0.0f; },
+      [](float acc, float v) { return acc + v; });
+}
+
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdims) {
+  const int denom = axis == 0 ? a.dim(0) : a.dim(1);
+  STGNN_CHECK_GT(denom, 0);
+  return MulScalar(SumAxis(a, axis, keepdims), 1.0f / denom);
+}
+
+Tensor MaxAxis(const Tensor& a, int axis, bool keepdims) {
+  return ReduceAxis2d(
+      a, axis, keepdims,
+      [] { return -std::numeric_limits<float>::infinity(); },
+      [](float acc, float v) { return std::max(acc, v); });
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  STGNN_CHECK_EQ(a.ndim(), 2);
+  const int rows = a.dim(0);
+  const int cols = a.dim(1);
+  STGNN_CHECK_GT(cols, 0);
+  Tensor out(a.shape());
+  for (int i = 0; i < rows; ++i) {
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < cols; ++j) row_max = std::max(row_max, a.at(i, j));
+    double denom = 0.0;
+    for (int j = 0; j < cols; ++j) {
+      const float e = std::exp(a.at(i, j) - row_max);
+      out.at(i, j) = e;
+      denom += e;
+    }
+    for (int j = 0; j < cols; ++j) {
+      out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  STGNN_CHECK(!parts.empty());
+  STGNN_CHECK(axis == 0 || axis == 1);
+  for (const auto& p : parts) STGNN_CHECK_EQ(p.ndim(), 2);
+  if (axis == 0) {
+    const int cols = parts[0].dim(1);
+    int rows = 0;
+    for (const auto& p : parts) {
+      STGNN_CHECK_EQ(p.dim(1), cols);
+      rows += p.dim(0);
+    }
+    Tensor out({rows, cols});
+    auto& dout = out.mutable_data();
+    size_t offset = 0;
+    for (const auto& p : parts) {
+      std::copy(p.data().begin(), p.data().end(), dout.begin() + offset);
+      offset += p.data().size();
+    }
+    return out;
+  }
+  const int rows = parts[0].dim(0);
+  int cols = 0;
+  for (const auto& p : parts) {
+    STGNN_CHECK_EQ(p.dim(0), rows);
+    cols += p.dim(1);
+  }
+  Tensor out({rows, cols});
+  for (int i = 0; i < rows; ++i) {
+    int col_offset = 0;
+    for (const auto& p : parts) {
+      for (int j = 0; j < p.dim(1); ++j) {
+        out.at(i, col_offset + j) = p.at(i, j);
+      }
+      col_offset += p.dim(1);
+    }
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  STGNN_CHECK(!parts.empty());
+  const Shape& base = parts[0].shape();
+  for (const auto& p : parts) STGNN_CHECK(p.shape() == base);
+  Shape out_shape;
+  out_shape.push_back(static_cast<int>(parts.size()));
+  out_shape.insert(out_shape.end(), base.begin(), base.end());
+  Tensor out(std::move(out_shape));
+  auto& dout = out.mutable_data();
+  size_t offset = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), dout.begin() + offset);
+    offset += p.data().size();
+  }
+  return out;
+}
+
+}  // namespace stgnn::tensor

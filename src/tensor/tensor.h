@@ -1,0 +1,163 @@
+#ifndef STGNN_TENSOR_TENSOR_H_
+#define STGNN_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace stgnn::tensor {
+
+// Shape of a tensor: a list of non-negative dimension extents.
+using Shape = std::vector<int>;
+
+// Number of elements a shape describes (product of extents; 1 for rank 0).
+int64_t NumElements(const Shape& shape);
+
+// Human-readable form, e.g. "[2, 3]".
+std::string ShapeToString(const Shape& shape);
+
+// Dense row-major float32 tensor. Copyable (deep copy of the buffer) and
+// movable. Shape mismatches and out-of-bounds access are programming errors
+// and abort via STGNN_CHECK; these are not recoverable conditions.
+class Tensor {
+ public:
+  // Rank-0 scalar holding 0.
+  Tensor();
+
+  // Zero-initialised tensor with the given shape.
+  explicit Tensor(Shape shape);
+
+  // Tensor with the given shape and data (data.size() must match).
+  Tensor(Shape shape, std::vector<float> data);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  // --- Factories ---
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor Scalar(float value);
+  // Identity matrix of size [n, n].
+  static Tensor Eye(int n);
+  // 1-D tensor from the given values.
+  static Tensor FromVector(std::vector<float> values);
+  // Uniform in [lo, hi).
+  static Tensor RandomUniform(Shape shape, float lo, float hi,
+                              common::Rng* rng);
+  // Gaussian with the given mean/stddev.
+  static Tensor RandomNormal(Shape shape, float mean, float stddev,
+                             common::Rng* rng);
+
+  // --- Introspection ---
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int axis) const;
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  // --- Element access ---
+  // Flat (row-major) indexing.
+  float flat(int64_t index) const;
+  float& flat(int64_t index);
+  // Rank-specific convenience accessors.
+  float& at(int i);
+  float at(int i) const;
+  float& at(int i, int j);
+  float at(int i, int j) const;
+  float& at(int i, int j, int k);
+  float at(int i, int j, int k) const;
+  // Scalar value of a single-element tensor.
+  float item() const;
+
+  // --- Shape manipulation (all return new tensors) ---
+  // Same data, new shape; element counts must match. A single -1 extent is
+  // inferred.
+  Tensor Reshape(Shape new_shape) const;
+  // 2-D transpose.
+  Tensor Transpose() const;
+  // Rows [begin, end) of a rank >= 1 tensor along axis 0.
+  Tensor SliceRows(int begin, int end) const;
+  // Row `i` of a 2-D tensor as shape [1, cols].
+  Tensor Row(int i) const;
+  // Column `j` of a 2-D tensor as shape [rows, 1].
+  Tensor Col(int j) const;
+
+  // In-place fill.
+  void Fill(float value);
+
+  // True if shapes are equal and all elements are within `tolerance`.
+  bool AllClose(const Tensor& other, float tolerance = 1e-5f) const;
+
+  std::string ToString() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// --- Broadcasting ---
+// Computes the numpy-style broadcast of two shapes; CHECK-fails if
+// incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+// --- Elementwise binary ops with broadcasting ---
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+// --- Elementwise unary ops ---
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Elu(const Tensor& a, float alpha = 1.0f);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+// Clamps every element into [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// --- Scalar ops ---
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// --- Linear algebra ---
+// [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// --- Reductions ---
+// Sum/mean/max of all elements, as a scalar tensor.
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+float MaxAll(const Tensor& a);
+float MinAll(const Tensor& a);
+// Reduction along one axis of a 2-D tensor. keepdims retains a size-1 axis.
+Tensor SumAxis(const Tensor& a, int axis, bool keepdims = false);
+Tensor MeanAxis(const Tensor& a, int axis, bool keepdims = false);
+Tensor MaxAxis(const Tensor& a, int axis, bool keepdims = false);
+
+// Row-wise softmax of a 2-D tensor (numerically stabilised).
+Tensor RowSoftmax(const Tensor& a);
+
+// Concatenates 2-D tensors along the given axis (0 = rows, 1 = cols).
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+// Stacks equal-shape tensors into a new leading axis.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+}  // namespace stgnn::tensor
+
+#endif  // STGNN_TENSOR_TENSOR_H_

@@ -1,0 +1,324 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+
+namespace stgnn::autograd {
+namespace {
+
+namespace ag = stgnn::autograd;
+using stgnn::testing::ExpectGradientsClose;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor RandomTensor(Shape shape, uint64_t seed, float lo = -1.0f,
+                    float hi = 1.0f) {
+  common::Rng rng(seed);
+  return Tensor::RandomUniform(std::move(shape), lo, hi, &rng);
+}
+
+TEST(VariableTest, LeafProperties) {
+  Variable p = Variable::Parameter(Tensor::Ones({2, 2}));
+  EXPECT_TRUE(p.requires_grad());
+  Variable c = Variable::Constant(Tensor::Ones({2, 2}));
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(p.grad().AllClose(Tensor::Zeros({2, 2})));
+}
+
+TEST(VariableTest, SimpleBackward) {
+  Variable x = Variable::Parameter(Tensor::Scalar(3.0f));
+  Variable y = ag::Mul(x, x);  // y = x^2, dy/dx = 2x = 6
+  y.Backward();
+  EXPECT_NEAR(x.grad().item(), 6.0f, 1e-5);
+}
+
+TEST(VariableTest, GradAccumulatesAcrossUses) {
+  Variable x = Variable::Parameter(Tensor::Scalar(2.0f));
+  Variable y = ag::Add(x, x);  // dy/dx = 2
+  y.Backward();
+  EXPECT_NEAR(x.grad().item(), 2.0f, 1e-5);
+}
+
+TEST(VariableTest, ZeroGradClears) {
+  Variable x = Variable::Parameter(Tensor::Scalar(2.0f));
+  ag::Mul(x, x).Backward();
+  EXPECT_GT(x.grad().item(), 0.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad().item(), 0.0f);
+}
+
+TEST(VariableTest, ConstantsReceiveNoGradients) {
+  Variable x = Variable::Parameter(Tensor::Scalar(2.0f));
+  Variable c = Variable::Constant(Tensor::Scalar(5.0f));
+  Variable y = ag::Mul(x, c);
+  y.Backward();
+  EXPECT_NEAR(x.grad().item(), 5.0f, 1e-5);
+  EXPECT_FLOAT_EQ(c.grad().item(), 0.0f);
+}
+
+TEST(VariableTest, DeepChainNoStackOverflow) {
+  Variable x = Variable::Parameter(Tensor::Scalar(1.0f));
+  Variable y = x;
+  for (int i = 0; i < 5000; ++i) y = ag::AddScalar(y, 0.0f);
+  y.Backward();
+  EXPECT_NEAR(x.grad().item(), 1.0f, 1e-5);
+}
+
+TEST(ReduceGradTest, SumsOverBroadcastAxes) {
+  Tensor g = Tensor::Ones({2, 3});
+  EXPECT_TRUE(ReduceGradToShape(g, {2, 3}).AllClose(g));
+  EXPECT_TRUE(ReduceGradToShape(g, {1, 3})
+                  .AllClose(Tensor({1, 3}, {2, 2, 2})));
+  EXPECT_TRUE(ReduceGradToShape(g, {2, 1})
+                  .AllClose(Tensor({2, 1}, {3, 3})));
+  EXPECT_TRUE(ReduceGradToShape(g, {3}).AllClose(Tensor({3}, {2, 2, 2})));
+  EXPECT_NEAR(ReduceGradToShape(g, {}).item(), 6.0f, 1e-6);
+}
+
+// --- Numerical gradient checks per op ---
+
+TEST(GradCheck, AddSubMulDiv) {
+  const Tensor a = RandomTensor({2, 3}, 1);
+  const Tensor b = RandomTensor({2, 3}, 2, 0.5f, 1.5f);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Mul(ag::Add(v[0], v[1]), ag::Sub(v[0], v[1])));
+      },
+      {a, b});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Div(v[0], v[1]));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, BroadcastBinary) {
+  const Tensor a = RandomTensor({3, 4}, 3);
+  const Tensor row = RandomTensor({1, 4}, 4, 0.5f, 1.5f);
+  const Tensor col = RandomTensor({3, 1}, 5);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Mul(ag::Add(v[0], v[1]), v[2]));
+      },
+      {a, row, col});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Div(v[0], v[1]));
+      },
+      {a, row});
+}
+
+TEST(GradCheck, UnaryOps) {
+  const Tensor a = RandomTensor({2, 3}, 6, 0.2f, 1.8f);  // positive for log
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Log(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Exp(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Sqrt(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Sigmoid(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Tanh(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) { return ag::SumAll(ag::Neg(v[0])); },
+      {a});
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Values bounded away from 0 so finite differences are valid.
+  Tensor a({2, 2}, {-1.0f, -0.5f, 0.5f, 1.0f});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Relu(v[0]));
+      },
+      {a});
+}
+
+TEST(GradCheck, EluBothSides) {
+  Tensor a({2, 2}, {-2.0f, -0.7f, 0.7f, 2.0f});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Elu(v[0]));
+      },
+      {a});
+}
+
+TEST(GradCheck, MatMul) {
+  const Tensor a = RandomTensor({3, 4}, 7);
+  const Tensor b = RandomTensor({4, 2}, 8);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::MatMul(v[0], v[1])));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, TransposeReshape) {
+  const Tensor a = RandomTensor({3, 4}, 9);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(
+            ag::Square(ag::Reshape(ag::Transpose(v[0]), {2, 6})));
+      },
+      {a});
+}
+
+TEST(GradCheck, ConcatBothAxes) {
+  const Tensor a = RandomTensor({2, 3}, 10);
+  const Tensor b = RandomTensor({2, 3}, 11);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::Concat({v[0], v[1]}, 0)));
+      },
+      {a, b});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::Concat({v[0], v[1]}, 1)));
+      },
+      {a, b});
+}
+
+TEST(GradCheck, SliceRows) {
+  const Tensor a = RandomTensor({4, 3}, 12);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::SliceRows(v[0], 1, 3)));
+      },
+      {a});
+}
+
+TEST(GradCheck, Reductions) {
+  const Tensor a = RandomTensor({3, 4}, 13);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::MeanAll(ag::Square(v[0]));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::SumAxisKeepdims(v[0], 1)));
+      },
+      {a});
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Square(ag::SumAxisKeepdims(v[0], 0)));
+      },
+      {a});
+}
+
+TEST(GradCheck, RowSoftmax) {
+  const Tensor a = RandomTensor({3, 4}, 14);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        // Weighted sum so the softmax Jacobian is exercised nontrivially.
+        Variable w = Variable::Constant(
+            Tensor({3, 4}, {1, 2, 3, 4, 4, 3, 2, 1, 1, -1, 1, -1}));
+        return ag::SumAll(ag::Mul(ag::RowSoftmax(v[0]), w));
+      },
+      {a});
+}
+
+TEST(GradCheck, ScalarOps) {
+  const Tensor a = RandomTensor({2, 2}, 15);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::MulScalar(ag::AddScalar(v[0], 3.0f), -2.0f));
+      },
+      {a});
+}
+
+TEST(GradCheck, CompositeExpression) {
+  // A small attention-like block: softmax(QK^T)V reduced to a scalar.
+  const Tensor q = RandomTensor({3, 4}, 16);
+  const Tensor k = RandomTensor({3, 4}, 17);
+  const Tensor v = RandomTensor({3, 4}, 18);
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& in) {
+        Variable scores = ag::MatMul(in[0], ag::Transpose(in[1]));
+        Variable attn = ag::RowSoftmax(scores);
+        return ag::SumAll(ag::Square(ag::MatMul(attn, in[2])));
+      },
+      {q, k, v});
+}
+
+TEST(DropoutTest, IdentityWhenEval) {
+  common::Rng rng(1);
+  Variable x = Variable::Parameter(Tensor::Ones({4, 4}));
+  Variable y = ag::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(y.value().AllClose(x.value()));
+}
+
+TEST(DropoutTest, ScalesAndZeroes) {
+  common::Rng rng(2);
+  Variable x = Variable::Parameter(Tensor::Ones({100, 100}));
+  Variable y = ag::Dropout(x, 0.5f, /*training=*/true, &rng);
+  int zeros = 0;
+  for (float v : y.value().data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(zeros, 5000, 400);
+  // Expectation is preserved: mean stays near 1.
+  EXPECT_NEAR(tensor::MeanAll(y.value()).item(), 1.0f, 0.05f);
+}
+
+TEST(DropoutTest, GradientFlowsThroughMask) {
+  common::Rng rng(3);
+  Variable x = Variable::Parameter(Tensor::Ones({10, 10}));
+  Variable y = ag::Dropout(x, 0.3f, /*training=*/true, &rng);
+  ag::SumAll(y).Backward();
+  const Tensor gx = x.grad();
+  for (int64_t i = 0; i < gx.size(); ++i) {
+    const float g = gx.flat(i);
+    EXPECT_TRUE(g == 0.0f || std::fabs(g - 1.0f / 0.7f) < 1e-5);
+  }
+}
+
+// Parameterized gradient sweep across shapes for the core binary ops.
+class BinaryGradSweep
+    : public ::testing::TestWithParam<std::tuple<Shape, Shape>> {};
+
+TEST_P(BinaryGradSweep, MulGradcheck) {
+  const auto& [sa, sb] = GetParam();
+  ExpectGradientsClose(
+      [](const std::vector<Variable>& v) {
+        return ag::SumAll(ag::Mul(v[0], v[1]));
+      },
+      {RandomTensor(sa, 21), RandomTensor(sb, 22)});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BinaryGradSweep,
+    ::testing::Values(std::make_tuple(Shape{2, 2}, Shape{2, 2}),
+                      std::make_tuple(Shape{3, 1}, Shape{1, 4}),
+                      std::make_tuple(Shape{4}, Shape{2, 4}),
+                      std::make_tuple(Shape{1, 5}, Shape{3, 5})));
+
+}  // namespace
+}  // namespace stgnn::autograd

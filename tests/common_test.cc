@@ -1,0 +1,239 @@
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "gtest/gtest.h"
+
+namespace stgnn {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad shape");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::IoError("disk");
+  Status copy = st;
+  EXPECT_EQ(copy, st);
+  EXPECT_EQ(copy.message(), "disk");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIoError,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kNotImplemented}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  STGNN_ASSIGN_OR_RETURN(const int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(QuarterEven(8).ValueOrDie(), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());  // 6/2 = 3, odd
+  EXPECT_FALSE(QuarterEven(5).ok());
+}
+
+// --- Rng ---
+
+TEST(RngTest, Deterministic) {
+  common::Rng a(123);
+  common::Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  common::Rng a(1);
+  common::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  common::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  common::Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  common::Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / draws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / draws, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  common::Rng rng(17);
+  for (double lambda : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / draws, lambda, std::max(0.05, lambda * 0.05))
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  common::Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  common::Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0], draws * 0.25, draws * 0.02);
+  EXPECT_NEAR(counts[2], draws * 0.75, draws * 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  common::Rng rng(29);
+  const std::vector<int> perm = rng.Permutation(50);
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  common::Rng rng(31);
+  int hits = 0;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits, draws * 0.3, draws * 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  common::Rng rng(37);
+  double sum = 0.0;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / draws, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  common::Rng a(41);
+  common::Rng child = a.Fork();
+  // Child stream should not replay the parent stream.
+  common::Rng b(41);
+  (void)b.NextUint64();  // parent consumed one draw to fork
+  EXPECT_NE(child.NextUint64(), b.NextUint64());
+}
+
+// --- string_util ---
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = common::Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, SplitNoDelimiter) {
+  const auto parts = common::Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(common::Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(common::Trim("   "), "");
+  EXPECT_EQ(common::Trim(""), "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(common::Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(common::Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(common::ParseDouble(" 3.5 ").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(common::ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_FALSE(common::ParseDouble("3.5x").ok());
+  EXPECT_FALSE(common::ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(common::ParseInt("42").ValueOrDie(), 42);
+  EXPECT_EQ(common::ParseInt("-7").ValueOrDie(), -7);
+  EXPECT_FALSE(common::ParseInt("4.2").ok());
+  EXPECT_FALSE(common::ParseInt("x").ok());
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(common::Format("%d-%s", 5, "ok"), "5-ok");
+  EXPECT_EQ(common::Format("%.2f", 1.239), "1.24");
+}
+
+}  // namespace
+}  // namespace stgnn

@@ -1,0 +1,315 @@
+#include <cstdio>
+#include <set>
+
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "data/window.h"
+#include "gtest/gtest.h"
+
+namespace stgnn::data {
+namespace {
+
+using tensor::Tensor;
+
+CityConfig TestConfig() {
+  CityConfig config = CityConfig::Tiny();
+  config.num_days = 14;
+  return config;
+}
+
+TEST(CitySimulatorTest, StationLayout) {
+  const CityConfig config = TestConfig();
+  CitySimulator sim(config);
+  const TripDataset dataset = sim.Generate();
+  EXPECT_EQ(dataset.num_stations(),
+            config.num_districts * config.stations_per_district);
+  EXPECT_EQ(dataset.num_days, config.num_days);
+  EXPECT_EQ(dataset.slots_per_day(), 96);
+  for (const Station& s : dataset.stations) {
+    EXPECT_GT(s.lat, 40.0);
+    EXPECT_LT(s.lat, 44.0);
+    EXPECT_FALSE(s.name.empty());
+  }
+}
+
+TEST(CitySimulatorTest, RolesCoverAllKindsAndSchoolsAreDistant) {
+  CitySimulator sim(TestConfig());
+  std::set<StationRole> roles;
+  const int n = sim.config().num_districts * sim.config().stations_per_district;
+  for (int i = 0; i < n; ++i) roles.insert(sim.RoleOf(i));
+  EXPECT_TRUE(roles.count(StationRole::kSchool));
+  EXPECT_TRUE(roles.count(StationRole::kLeisure));
+  EXPECT_TRUE(roles.count(StationRole::kResidential));
+  EXPECT_TRUE(roles.count(StationRole::kDowntown));
+  // One school per district.
+  int schools = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sim.RoleOf(i) == StationRole::kSchool) ++schools;
+  }
+  EXPECT_EQ(schools, sim.config().num_districts);
+}
+
+TEST(CitySimulatorTest, Deterministic) {
+  CitySimulator a(TestConfig());
+  CitySimulator b(TestConfig());
+  const TripDataset da = a.Generate();
+  const TripDataset db = b.Generate();
+  ASSERT_EQ(da.trips.size(), db.trips.size());
+  for (size_t i = 0; i < std::min<size_t>(da.trips.size(), 100); ++i) {
+    EXPECT_EQ(da.trips[i].origin, db.trips[i].origin);
+    EXPECT_EQ(da.trips[i].start_minute, db.trips[i].start_minute);
+  }
+}
+
+TEST(CitySimulatorTest, TripVolumeNearConfigured) {
+  const CityConfig config = TestConfig();
+  CitySimulator sim(config);
+  const TripDataset dataset = sim.Generate();
+  const double expected = config.mean_daily_departures_per_station *
+                          dataset.num_stations() * config.num_days;
+  // Weekends are damped, so expect somewhat below the weekday-only figure.
+  EXPECT_GT(static_cast<double>(dataset.trips.size()), expected * 0.5);
+  EXPECT_LT(static_cast<double>(dataset.trips.size()), expected * 1.3);
+}
+
+TEST(CitySimulatorTest, TripsAreValid) {
+  CitySimulator sim(TestConfig());
+  const TripDataset dataset = sim.Generate();
+  const int64_t total_minutes =
+      static_cast<int64_t>(dataset.num_days) * 24 * 60;
+  for (const TripRecord& trip : dataset.trips) {
+    EXPECT_GE(trip.start_minute, 0);
+    EXPECT_LT(trip.end_minute, total_minutes);
+    EXPECT_GT(trip.end_minute, trip.start_minute);
+    EXPECT_NE(trip.origin, trip.destination);
+    EXPECT_GE(trip.origin, 0);
+    EXPECT_LT(trip.origin, dataset.num_stations());
+  }
+}
+
+TEST(CitySimulatorTest, MorningCommuteFlowsTowardDowntown) {
+  CityConfig config = CityConfig::Tiny();
+  config.num_days = 14;
+  CitySimulator sim(config);
+  const TripDataset dataset = sim.Generate();
+  // Count weekday 7-10am arrivals at downtown vs residential stations.
+  int64_t downtown_arrivals = 0;
+  int64_t residential_arrivals = 0;
+  for (const TripRecord& trip : dataset.trips) {
+    const int day = static_cast<int>(trip.end_minute / (24 * 60));
+    if (day % 7 >= 5) continue;
+    const int hour = static_cast<int>(trip.end_minute % (24 * 60)) / 60;
+    if (hour < 7 || hour >= 10) continue;
+    const StationRole role = sim.RoleOf(trip.destination);
+    if (role == StationRole::kDowntown) ++downtown_arrivals;
+    if (role == StationRole::kResidential) ++residential_arrivals;
+  }
+  // District 0 is downtown: 2 downtown stations vs 6 residential in Tiny
+  // (2 districts x 4 slots, minus school/leisure). Per-station arrival rate
+  // should clearly favour downtown in the morning.
+  EXPECT_GT(downtown_arrivals * 3, residential_arrivals);
+}
+
+TEST(CleanseTest, DropsAbnormalTrips) {
+  TripDataset dataset;
+  dataset.num_days = 1;
+  dataset.stations.resize(3);
+  TripRecord ok{1, 0, 1, 10, 30};
+  TripRecord negative{2, 0, 1, 50, 40};
+  TripRecord too_long{3, 1, 2, 0, 25 * 60};
+  TripRecord bad_station{4, 0, 7, 10, 20};
+  dataset.trips = {ok, negative, too_long, bad_station};
+  EXPECT_EQ(CleanseTrips(&dataset), 3);
+  ASSERT_EQ(dataset.trips.size(), 1u);
+  EXPECT_EQ(dataset.trips[0].rid, 1);
+}
+
+TEST(FlowDatasetTest, FlowMatricesMatchDefinition) {
+  TripDataset dataset;
+  dataset.city_name = "unit";
+  dataset.num_days = 1;
+  dataset.slot_minutes = 15;
+  dataset.stations.resize(3);
+  // Trip from station 0 at minute 10 (slot 0) to station 2 at minute 40
+  // (slot 2).
+  dataset.trips.push_back({1, 0, 2, 10, 40});
+  // Trip from 1 to 0 within slot 5.
+  dataset.trips.push_back({2, 1, 0, 75, 80});
+  const FlowDataset flow = BuildFlowDataset(dataset, 0.6, 0.2);
+  EXPECT_EQ(flow.num_slots, 96);
+  // O^0[0][2] = 1 (checkout slot), I^2[2][0] = 1 (return slot).
+  EXPECT_FLOAT_EQ(flow.outflow[0].at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(flow.inflow[2].at(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(flow.outflow[5].at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(flow.inflow[5].at(0, 1), 1.0f);
+  // Demand/supply derived: x_0^0 = 1, y_2^2 = 1.
+  EXPECT_FLOAT_EQ(flow.demand.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(flow.supply.at(2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(flow.demand.at(0, 1), 0.0f);
+}
+
+TEST(FlowDatasetTest, SplitsAreDayAligned) {
+  CityConfig config = TestConfig();
+  CitySimulator sim(config);
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  EXPECT_EQ(flow.train_end % flow.slots_per_day, 0);
+  EXPECT_EQ(flow.val_end % flow.slots_per_day, 0);
+  EXPECT_GT(flow.train_end, 0);
+  EXPECT_GE(flow.val_end, flow.train_end);
+  EXPECT_GT(flow.num_slots, flow.val_end);
+  // Roughly 70/10/20.
+  EXPECT_NEAR(static_cast<double>(flow.train_end) / flow.num_slots, 0.7, 0.1);
+}
+
+TEST(FlowDatasetTest, DemandEqualsRowSums) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  for (int t = 0; t < 20; ++t) {
+    for (int i = 0; i < flow.num_stations; ++i) {
+      float out_sum = 0.0f;
+      float in_sum = 0.0f;
+      for (int j = 0; j < flow.num_stations; ++j) {
+        out_sum += flow.outflow[t].at(i, j);
+        in_sum += flow.inflow[t].at(i, j);
+      }
+      EXPECT_FLOAT_EQ(flow.demand.at(t, i), out_sum);
+      EXPECT_FLOAT_EQ(flow.supply.at(t, i), in_sum);
+    }
+  }
+}
+
+TEST(FlowDatasetTest, HourRangeMask) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  // Slot 28 of a 96-slot day = 7:00am.
+  EXPECT_TRUE(flow.InHourRange(28, 7, 10));
+  EXPECT_TRUE(flow.InHourRange(39, 7, 10));   // 9:45
+  EXPECT_FALSE(flow.InHourRange(40, 7, 10));  // 10:00
+  EXPECT_FALSE(flow.InHourRange(27, 7, 10));  // 6:45
+  // Next day, same time-of-day.
+  EXPECT_TRUE(flow.InHourRange(96 + 30, 7, 10));
+}
+
+TEST(NormalizerTest, RoundTripAndRange) {
+  Tensor demand({4, 2}, {0, 10, 2, 8, 4, 6, 1, 9});
+  Tensor supply({4, 2}, {5, 5, 5, 5, 5, 5, 5, 5});
+  const MinMaxNormalizer norm = MinMaxNormalizer::Fit(demand, supply, 4);
+  EXPECT_FLOAT_EQ(norm.min_value(), 0.0f);
+  EXPECT_FLOAT_EQ(norm.max_value(), 10.0f);
+  EXPECT_FLOAT_EQ(norm.Normalize(10.0f), 1.0f);
+  EXPECT_FLOAT_EQ(norm.Normalize(0.0f), 0.0f);
+  EXPECT_NEAR(norm.Denormalize(norm.Normalize(7.3f)), 7.3f, 1e-5);
+  const Tensor normalized = norm.Normalize(demand);
+  EXPECT_FLOAT_EQ(normalized.at(0, 1), 1.0f);
+  EXPECT_TRUE(norm.Denormalize(normalized).AllClose(demand, 1e-4f));
+}
+
+TEST(NormalizerTest, FitUsesOnlyTrainRows) {
+  Tensor demand({4, 1}, {1, 2, 100, 200});
+  Tensor supply({4, 1}, {1, 2, 100, 200});
+  const MinMaxNormalizer norm = MinMaxNormalizer::Fit(demand, supply, 2);
+  EXPECT_FLOAT_EQ(norm.max_value(), 2.0f);
+}
+
+TEST(WindowTest, StHistoryLayout) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const int k = 4;
+  const int d = 2;
+  const int t = flow.FirstPredictableSlot(k, d) + 3;
+  const StHistory history = BuildStHistory(flow, t, k, d, 1.0f);
+  const int n = flow.num_stations;
+  ASSERT_EQ(history.inflow_short.shape(), (tensor::Shape{k, n * n}));
+  ASSERT_EQ(history.inflow_long.shape(), (tensor::Shape{d, n * n}));
+  // Channel c of the short stack is slot t-k+c.
+  for (int c = 0; c < k; ++c) {
+    const int slot = t - k + c;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_FLOAT_EQ(history.inflow_short.at(c, i * n + j),
+                        flow.inflow[slot].at(i, j));
+      }
+    }
+  }
+  // Long stack: same slot-of-day, previous days, oldest first.
+  for (int c = 0; c < d; ++c) {
+    const int slot = t - (d - c) * flow.slots_per_day;
+    EXPECT_FLOAT_EQ(history.outflow_long.at(c, 0),
+                    flow.outflow[slot].at(0, 0));
+  }
+}
+
+TEST(WindowTest, ScaleApplied) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const int t = flow.FirstPredictableSlot(2, 1);
+  const StHistory unit = BuildStHistory(flow, t, 2, 1, 1.0f);
+  const StHistory halved = BuildStHistory(flow, t, 2, 1, 0.5f);
+  EXPECT_TRUE(tensor::MulScalar(unit.inflow_short, 0.5f)
+                  .AllClose(halved.inflow_short));
+}
+
+TEST(WindowTest, SeriesWindows) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const int t = 200;
+  const Tensor window = DemandWindow(flow, t, 5);
+  ASSERT_EQ(window.shape(), (tensor::Shape{flow.num_stations, 5}));
+  for (int i = 0; i < flow.num_stations; ++i) {
+    EXPECT_FLOAT_EQ(window.at(i, 4), flow.demand.at(t - 1, i));
+    EXPECT_FLOAT_EQ(window.at(i, 0), flow.demand.at(t - 5, i));
+  }
+  const Tensor daily = SupplyDaily(flow, t, 2);
+  EXPECT_FLOAT_EQ(daily.at(0, 1),
+                  flow.supply.at(t - flow.slots_per_day, 0));
+}
+
+TEST(WindowTest, TargetAt) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const Tensor target = TargetAt(flow, 100);
+  for (int i = 0; i < flow.num_stations; ++i) {
+    EXPECT_FLOAT_EQ(target.at(i, 0), flow.demand.at(100, i));
+    EXPECT_FLOAT_EQ(target.at(i, 1), flow.supply.at(100, i));
+  }
+}
+
+TEST(CsvTest, SaveLoadRoundTrip) {
+  CitySimulator sim(TestConfig());
+  TripDataset original = sim.Generate();
+  const std::string trips_path = ::testing::TempDir() + "/trips.csv";
+  const std::string stations_path = ::testing::TempDir() + "/stations.csv";
+  ASSERT_TRUE(SaveTripsCsv(original, trips_path).ok());
+  ASSERT_TRUE(SaveStationsCsv(original, stations_path).ok());
+  auto loaded = LoadTripsCsv(trips_path, stations_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TripDataset& copy = loaded.ValueOrDie();
+  EXPECT_EQ(copy.stations.size(), original.stations.size());
+  ASSERT_EQ(copy.trips.size(), original.trips.size());
+  for (size_t i = 0; i < std::min<size_t>(copy.trips.size(), 50); ++i) {
+    EXPECT_EQ(copy.trips[i].origin, original.trips[i].origin);
+    EXPECT_EQ(copy.trips[i].destination, original.trips[i].destination);
+    EXPECT_EQ(copy.trips[i].start_minute, original.trips[i].start_minute);
+    EXPECT_EQ(copy.trips[i].end_minute, original.trips[i].end_minute);
+  }
+  std::remove(trips_path.c_str());
+  std::remove(stations_path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileFails) {
+  auto result = LoadTripsCsv("/nonexistent/trips.csv", "/nonexistent/st.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(ConfigTest, CityPresetsDiffer) {
+  const CityConfig chicago = CityConfig::ChicagoLike();
+  const CityConfig la = CityConfig::LaLike();
+  EXPECT_GT(chicago.num_districts * chicago.stations_per_district,
+            la.num_districts * la.stations_per_district);
+  EXPECT_GT(chicago.mean_daily_departures_per_station,
+            la.mean_daily_departures_per_station);
+}
+
+}  // namespace
+}  // namespace stgnn::data

@@ -1,0 +1,178 @@
+#include <cmath>
+
+#include "data/city_simulator.h"
+#include "data/window.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace stgnn::eval {
+namespace {
+
+using tensor::Tensor;
+
+TEST(MetricsTest, PerfectPredictionIsZeroError) {
+  MetricsAccumulator acc;
+  Tensor truth({2, 2}, {3, 4, 5, 6});
+  acc.Add(truth, truth);
+  const Metrics m = acc.Compute();
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.count, 4);
+}
+
+TEST(MetricsTest, KnownErrors) {
+  MetricsAccumulator acc;
+  Tensor pred({2, 2}, {1, 1, 1, 1});
+  Tensor truth({2, 2}, {2, 3, 4, 5});
+  acc.Add(pred, truth);
+  const Metrics m = acc.Compute();
+  // Errors: 1, 2, 3, 4 -> RMSE = sqrt(30/4), MAE = 2.5.
+  EXPECT_NEAR(m.rmse, std::sqrt(30.0 / 4.0), 1e-9);
+  EXPECT_NEAR(m.mae, 2.5, 1e-9);
+}
+
+TEST(MetricsTest, InactiveStationsExcluded) {
+  MetricsAccumulator acc;
+  Tensor pred({2, 2}, {9, 9, 9, 9});
+  Tensor truth({2, 2}, {0, 4, 0, 0});  // station 0 has supply only; 1 inactive
+  acc.Add(pred, truth);
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 1);  // only station 0's supply term
+  EXPECT_NEAR(m.mae, 5.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricsAccumulator acc;
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+}
+
+TEST(MetricsTest, AccumulatesAcrossSlots) {
+  MetricsAccumulator acc;
+  Tensor pred({1, 2}, {1, 1});
+  Tensor truth1({1, 2}, {2, 2});
+  Tensor truth2({1, 2}, {3, 3});
+  acc.Add(pred, truth1);
+  acc.Add(pred, truth2);
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 4);
+  EXPECT_NEAR(m.mae, 1.5, 1e-9);  // errors 1,1,2,2
+  EXPECT_NEAR(m.rmse, std::sqrt((1 + 1 + 4 + 4) / 4.0), 1e-9);
+}
+
+TEST(SummarizeTest, MeanAndStd) {
+  std::vector<Metrics> runs(3);
+  runs[0].rmse = 1.0;
+  runs[1].rmse = 2.0;
+  runs[2].rmse = 3.0;
+  runs[0].mae = 0.5;
+  runs[1].mae = 0.5;
+  runs[2].mae = 0.5;
+  const SeedStats stats = Summarize(runs);
+  EXPECT_NEAR(stats.mean_rmse, 2.0, 1e-9);
+  EXPECT_NEAR(stats.std_rmse, 1.0, 1e-9);  // sample std of {1,2,3}
+  EXPECT_NEAR(stats.mean_mae, 0.5, 1e-9);
+  EXPECT_NEAR(stats.std_mae, 0.0, 1e-9);
+  EXPECT_EQ(stats.num_runs, 3);
+}
+
+TEST(SummarizeTest, SingleRunHasZeroStd) {
+  std::vector<Metrics> runs(1);
+  runs[0].rmse = 1.5;
+  const SeedStats stats = Summarize(runs);
+  EXPECT_NEAR(stats.mean_rmse, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.std_rmse, 0.0);
+}
+
+// A predictor that always returns the true previous-slot values; used to
+// exercise the evaluation plumbing end to end.
+class LastValuePredictor : public Predictor {
+ public:
+  std::string name() const override { return "last-value"; }
+  void Train(const data::FlowDataset&) override { trained_ = true; }
+  Tensor Predict(const data::FlowDataset& flow, int t) override {
+    STGNN_CHECK(trained_);
+    return data::TargetAt(flow, t - 1);
+  }
+
+ private:
+  bool trained_ = false;
+};
+
+class OraclePredictor : public Predictor {
+ public:
+  std::string name() const override { return "oracle"; }
+  void Train(const data::FlowDataset&) override {}
+  Tensor Predict(const data::FlowDataset& flow, int t) override {
+    return data::TargetAt(flow, t);
+  }
+};
+
+data::FlowDataset MakeFlow() {
+  data::CityConfig config = data::CityConfig::Tiny();
+  config.num_days = 12;
+  return data::BuildFlowDataset(data::CitySimulator(config).Generate());
+}
+
+TEST(EvaluateTest, OracleGetsZeroError) {
+  const data::FlowDataset flow = MakeFlow();
+  OraclePredictor oracle;
+  oracle.Train(flow);
+  const Metrics m = EvaluateOnTestSplit(&oracle, flow, EvalWindow{});
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_GT(m.count, 0);
+}
+
+TEST(EvaluateTest, LastValueBeatenByOracleAndFinite) {
+  const data::FlowDataset flow = MakeFlow();
+  LastValuePredictor lv;
+  lv.Train(flow);
+  const Metrics m = EvaluateOnTestSplit(&lv, flow, EvalWindow{.min_history = 1});
+  EXPECT_GT(m.rmse, 0.0);
+  EXPECT_TRUE(std::isfinite(m.rmse));
+  EXPECT_GE(m.rmse, m.mae);  // RMSE >= MAE always
+}
+
+TEST(EvaluateTest, RushHourFilterReducesCount) {
+  const data::FlowDataset flow = MakeFlow();
+  OraclePredictor oracle;
+  const Metrics all = EvaluateOnTestSplit(&oracle, flow, EvalWindow{});
+  EvalWindow rush;
+  rush.begin_hour = 7;
+  rush.end_hour = 10;
+  const Metrics morning = EvaluateOnTestSplit(&oracle, flow, rush);
+  EXPECT_LT(morning.count, all.count);
+  EXPECT_GT(morning.count, 0);
+}
+
+TEST(RunSeedsTest, ProducesOneMetricPerSeed) {
+  const data::FlowDataset flow = MakeFlow();
+  const auto factory = [](uint64_t) {
+    return std::make_unique<LastValuePredictor>();
+  };
+  const std::vector<Metrics> runs =
+      RunSeeds(factory, flow, EvalWindow{.min_history = 1}, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  // Deterministic predictor: all runs identical.
+  EXPECT_DOUBLE_EQ(runs[0].rmse, runs[1].rmse);
+  EXPECT_DOUBLE_EQ(runs[1].rmse, runs[2].rmse);
+}
+
+TEST(FormatTableTest, ContainsModelsAndNumbers) {
+  std::vector<TableRow> rows(1);
+  rows[0].model = "TestModel";
+  rows[0].chicago.mean_rmse = 1.234;
+  rows[0].chicago.num_runs = 1;
+  rows[0].los_angeles.mean_rmse = 5.678;
+  rows[0].los_angeles.num_runs = 2;
+  rows[0].los_angeles.std_rmse = 0.1;
+  const std::string table = FormatComparisonTable("Table I", rows);
+  EXPECT_NE(table.find("TestModel"), std::string::npos);
+  EXPECT_NE(table.find("1.234"), std::string::npos);
+  EXPECT_NE(table.find("5.678±0.100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stgnn::eval

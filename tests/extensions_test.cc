@@ -1,0 +1,285 @@
+// Tests for the extension features: multi-step prediction (the paper's
+// Section IX future work), parameter serialization, and the initialisation
+// schemes used by the GNN stacks.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/stgnn_djd.h"
+#include "data/city_simulator.h"
+#include "data/window.h"
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace stgnn {
+namespace {
+
+namespace ag = stgnn::autograd;
+using autograd::Variable;
+using tensor::Tensor;
+
+const data::FlowDataset& TestFlow() {
+  static const data::FlowDataset* flow = [] {
+    data::CityConfig config = data::CityConfig::Tiny();
+    config.num_days = 16;
+    return new data::FlowDataset(
+        data::BuildFlowDataset(data::CitySimulator(config).Generate()));
+  }();
+  return *flow;
+}
+
+// --- Multi-step targets and loss ---
+
+TEST(MultiStepTest, TargetLayout) {
+  const auto& flow = TestFlow();
+  const int t = 100;
+  const int horizon = 3;
+  const Tensor target = data::MultiStepTargetAt(flow, t, horizon);
+  ASSERT_EQ(target.shape(), (tensor::Shape{flow.num_stations, 6}));
+  for (int i = 0; i < flow.num_stations; ++i) {
+    for (int h = 0; h < horizon; ++h) {
+      EXPECT_FLOAT_EQ(target.at(i, h), flow.demand.at(t + h, i));
+      EXPECT_FLOAT_EQ(target.at(i, horizon + h), flow.supply.at(t + h, i));
+    }
+  }
+}
+
+TEST(MultiStepTest, HorizonOneMatchesSingleStepTarget) {
+  const auto& flow = TestFlow();
+  EXPECT_TRUE(data::MultiStepTargetAt(flow, 50, 1)
+                  .AllClose(data::TargetAt(flow, 50)));
+}
+
+TEST(MultiStepTest, LossReducesToEq21AtHorizonOne) {
+  common::Rng rng(1);
+  const Tensor pred = Tensor::RandomUniform({4, 2}, 0, 1, &rng);
+  const Tensor target = Tensor::RandomUniform({4, 2}, 0, 1, &rng);
+  const float joint = nn::JointDemandSupplyLoss(Variable::Constant(pred),
+                                                Variable::Constant(target))
+                          .value()
+                          .item();
+  const float multi = nn::MultiStepJointLoss(Variable::Constant(pred),
+                                             Variable::Constant(target))
+                          .value()
+                          .item();
+  EXPECT_NEAR(joint, multi, 1e-5);
+}
+
+TEST(MultiStepTest, LossGradcheck) {
+  common::Rng rng(2);
+  const Tensor pred = Tensor::RandomUniform({3, 6}, 0, 1, &rng);
+  const Tensor target = Tensor::RandomUniform({3, 6}, 0, 1, &rng);
+  stgnn::testing::ExpectGradientsClose(
+      [&target](const std::vector<Variable>& v) {
+        return nn::MultiStepJointLoss(v[0], Variable::Constant(target));
+      },
+      {pred});
+}
+
+TEST(MultiStepTest, StgnnTrainsAndPredictsHorizon) {
+  const auto& flow = TestFlow();
+  core::StgnnConfig config;
+  config.short_term_slots = 8;
+  config.long_term_days = 2;
+  config.fcg_layers = 1;
+  config.pcg_layers = 1;
+  config.attention_heads = 2;
+  config.epochs = 2;
+  config.max_samples_per_epoch = 32;
+  config.horizon = 4;
+  core::StgnnDjdPredictor predictor(config);
+  predictor.Train(flow);
+  const int t = std::max(flow.val_end, predictor.MinHistorySlots(flow));
+  const Tensor horizon_pred = predictor.PredictHorizon(flow, t);
+  ASSERT_EQ(horizon_pred.shape(), (tensor::Shape{flow.num_stations, 8}));
+  const Tensor single = predictor.Predict(flow, t);
+  ASSERT_EQ(single.shape(), (tensor::Shape{flow.num_stations, 2}));
+  // Predict() is the first step of PredictHorizon().
+  for (int i = 0; i < flow.num_stations; ++i) {
+    EXPECT_FLOAT_EQ(single.at(i, 0), horizon_pred.at(i, 0));
+    EXPECT_FLOAT_EQ(single.at(i, 1), horizon_pred.at(i, 4));
+  }
+  for (float v : horizon_pred.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+// --- Serialization ---
+
+TEST(SerializeTest, RoundTripRestoresPredictions) {
+  common::Rng rng(3);
+  nn::Mlp mlp({4, 8, 2}, &rng);
+  const Tensor input = Tensor::RandomUniform({3, 4}, -1, 1, &rng);
+  const Tensor before = mlp.Forward(Variable::Constant(input)).value();
+
+  const std::string path = ::testing::TempDir() + "/mlp.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(mlp, path).ok());
+
+  // Perturb all parameters, then restore.
+  for (auto& p : mlp.parameters()) {
+    p.SetValue(tensor::AddScalar(p.value(), 1.0f));
+  }
+  EXPECT_FALSE(mlp.Forward(Variable::Constant(input)).value().AllClose(before));
+  ASSERT_TRUE(nn::LoadParameters(path, &mlp).ok());
+  EXPECT_TRUE(mlp.Forward(Variable::Constant(input)).value().AllClose(before));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  common::Rng rng(4);
+  nn::Mlp mlp({2, 2}, &rng);
+  const Status st = nn::LoadParameters("/nonexistent/x.ckpt", &mlp);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  common::Rng rng(5);
+  nn::Mlp small({2, 3, 2}, &rng);
+  nn::Mlp large({4, 3, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/mismatch.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(small, path).ok());
+  const Status st = nn::LoadParameters(path, &large);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchFails) {
+  common::Rng rng(6);
+  nn::Mlp two_layers({2, 3, 2}, &rng);
+  nn::Mlp three_layers({2, 3, 3, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/count.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(two_layers, path).ok());
+  EXPECT_FALSE(nn::LoadParameters(path, &three_layers).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptMagicFails) {
+  const std::string path = ::testing::TempDir() + "/bad.ckpt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTSTGNNxxxxxxxxxxxx";
+  }
+  common::Rng rng(7);
+  nn::Mlp mlp({2, 2}, &rng);
+  const Status st = nn::LoadParameters(path, &mlp);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, StgnnCheckpointRoundTrip) {
+  const auto& flow = TestFlow();
+  common::Rng rng(8);
+  core::StgnnConfig config;
+  config.short_term_slots = 8;
+  config.long_term_days = 2;
+  config.pcg_layers = 1;
+  config.attention_heads = 2;
+  core::StgnnDjdModel model(flow.num_stations, config, &rng);
+  const std::string path = ::testing::TempDir() + "/stgnn.ckpt";
+  ASSERT_TRUE(nn::SaveParameters(model, path).ok());
+  common::Rng rng2(99);  // different init
+  core::StgnnDjdModel model2(flow.num_stations, config, &rng2);
+  ASSERT_TRUE(nn::LoadParameters(path, &model2).ok());
+  const auto p1 = model.parameters();
+  const auto p2 = model2.parameters();
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i].value().AllClose(p2[i].value()));
+  }
+  std::remove(path.c_str());
+}
+
+// --- Initialisation schemes ---
+
+TEST(InitSchemesTest, NearIdentityIsCloseToIdentity) {
+  common::Rng rng(9);
+  const Tensor w = nn::NearIdentity(6, 0.25f, &rng);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) {
+        EXPECT_NEAR(w.at(i, j), 1.0f, 0.25f);
+      } else {
+        EXPECT_NEAR(w.at(i, j), 0.0f, 0.25f);
+      }
+    }
+  }
+  // A vector passed through is roughly preserved.
+  const Tensor x = Tensor::RandomUniform({1, 6}, -1, 1, &rng);
+  const Tensor y = tensor::MatMul(x, w);
+  for (int j = 0; j < 6; ++j) EXPECT_NEAR(y.at(0, j), x.at(0, j), 0.8f);
+}
+
+TEST(InitSchemesTest, HeadMergeAveragesHeads) {
+  common::Rng rng(10);
+  const int heads = 4;
+  const int n = 5;
+  const Tensor w = nn::HeadMergeInit(heads, n, 0.0f, &rng);  // no noise
+  // Concatenating h copies of the same matrix and multiplying recovers it.
+  const Tensor block = Tensor::RandomUniform({n, n}, -1, 1, &rng);
+  std::vector<Tensor> copies(heads, block);
+  const Tensor merged = tensor::MatMul(tensor::Concat(copies, 1), w);
+  EXPECT_TRUE(merged.AllClose(block, 1e-4f));
+}
+
+// --- Optimizer learning-rate control ---
+
+TEST(AdamLrTest, SetLearningRateTakesEffect) {
+  Variable x = Variable::Parameter(Tensor::Scalar(10.0f));
+  nn::Adam opt({x}, 0.1f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+  opt.ZeroGrad();
+  ag::Square(x).Backward();
+  opt.Step();
+  const float step1 = 10.0f - x.value().item();
+  EXPECT_GT(step1, 0.0f);
+  opt.set_learning_rate(1e-6f);
+  const float before = x.value().item();
+  opt.ZeroGrad();
+  ag::Square(x).Backward();
+  opt.Step();
+  EXPECT_NEAR(x.value().item(), before, 1e-4f);
+}
+
+// --- Simulator non-stationarity knob ---
+
+TEST(ActivityTest, StationaryCityIsEasierForHistoricalAverage) {
+  data::CityConfig moving = data::CityConfig::Tiny();
+  moving.num_days = 16;
+  data::CityConfig still = moving;
+  still.daily_activity_sigma = 0.0;
+  still.block_activity_sigma = 0.0;
+  still.popularity_drift_sigma = 0.0;
+  const auto flow_moving =
+      data::BuildFlowDataset(data::CitySimulator(moving).Generate());
+  const auto flow_still =
+      data::BuildFlowDataset(data::CitySimulator(still).Generate());
+  // Variance of total demand across days at the same slot should be larger
+  // in the non-stationary city.
+  auto slot_variance = [](const data::FlowDataset& flow) {
+    const int slot = 34;  // 08:30
+    std::vector<double> day_totals;
+    for (int t = slot; t < flow.num_slots; t += flow.slots_per_day) {
+      double total = 0.0;
+      for (int i = 0; i < flow.num_stations; ++i) {
+        total += flow.demand.at(t, i);
+      }
+      day_totals.push_back(total);
+    }
+    double mean = 0.0;
+    for (double v : day_totals) mean += v;
+    mean /= day_totals.size();
+    double var = 0.0;
+    for (double v : day_totals) var += (v - mean) * (v - mean);
+    return var / day_totals.size();
+  };
+  EXPECT_GT(slot_variance(flow_moving), slot_variance(flow_still) * 1.5);
+}
+
+}  // namespace
+}  // namespace stgnn

@@ -1,0 +1,55 @@
+#ifndef STGNN_TESTS_GRADCHECK_H_
+#define STGNN_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+
+namespace stgnn::testing {
+
+// Verifies autograd gradients of a scalar-valued function against central
+// finite differences, perturbing every element of every input.
+//
+// `fn` must map the inputs to a scalar Variable and be deterministic.
+inline void ExpectGradientsClose(
+    const std::function<autograd::Variable(
+        const std::vector<autograd::Variable>&)>& fn,
+    std::vector<tensor::Tensor> input_values, float epsilon = 1e-3f,
+    float tolerance = 2e-2f) {
+  // Analytic gradients.
+  std::vector<autograd::Variable> inputs;
+  inputs.reserve(input_values.size());
+  for (const auto& value : input_values) {
+    inputs.push_back(autograd::Variable::Parameter(value));
+  }
+  autograd::Variable output = fn(inputs);
+  ASSERT_EQ(output.value().size(), 1) << "gradcheck needs a scalar output";
+  output.Backward();
+
+  for (size_t v = 0; v < input_values.size(); ++v) {
+    const tensor::Tensor analytic = inputs[v].grad();
+    for (int64_t e = 0; e < input_values[v].size(); ++e) {
+      auto eval_at = [&](float delta) {
+        std::vector<autograd::Variable> probe;
+        for (size_t u = 0; u < input_values.size(); ++u) {
+          tensor::Tensor value = input_values[u];
+          if (u == v) value.flat(e) += delta;
+          probe.push_back(autograd::Variable::Parameter(std::move(value)));
+        }
+        return fn(probe).value().item();
+      };
+      const float numeric =
+          (eval_at(epsilon) - eval_at(-epsilon)) / (2.0f * epsilon);
+      const float got = analytic.flat(e);
+      const float scale = std::max({1.0f, std::fabs(numeric), std::fabs(got)});
+      EXPECT_NEAR(got, numeric, tolerance * scale)
+          << "input " << v << " element " << e;
+    }
+  }
+}
+
+}  // namespace stgnn::testing
+
+#endif  // STGNN_TESTS_GRADCHECK_H_

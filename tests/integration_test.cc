@@ -1,0 +1,135 @@
+// End-to-end integration tests: simulate a city, build the flow dataset,
+// train STGNN-DJD and representative baselines, and check the relationships
+// the paper's evaluation depends on (finite errors, STGNN-DJD competitive
+// with weak temporal baselines, reproducibility across the whole pipeline).
+
+#include <cmath>
+
+#include "baselines/ha.h"
+#include "baselines/mlp_model.h"
+#include "core/stgnn_djd.h"
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "eval/experiment.h"
+#include "gtest/gtest.h"
+
+namespace stgnn {
+namespace {
+
+using core::StgnnConfig;
+using core::StgnnDjdPredictor;
+using tensor::Tensor;
+
+data::FlowDataset MakeCity(uint64_t seed) {
+  data::CityConfig config = data::CityConfig::Tiny();
+  config.num_days = 18;
+  config.seed = seed;
+  data::TripDataset trips = data::CitySimulator(config).Generate();
+  EXPECT_EQ(data::CleanseTrips(&trips), 0);  // simulator emits clean data
+  return data::BuildFlowDataset(trips);
+}
+
+StgnnConfig SmallConfig() {
+  StgnnConfig config;
+  config.short_term_slots = 12;
+  config.long_term_days = 3;
+  config.fcg_layers = 2;
+  config.pcg_layers = 2;
+  config.attention_heads = 2;
+  config.epochs = 4;
+  config.batch_size = 16;
+  config.max_samples_per_epoch = 96;
+  return config;
+}
+
+TEST(IntegrationTest, FullPipelineProducesSaneMetrics) {
+  const data::FlowDataset flow = MakeCity(555);
+  StgnnDjdPredictor model(SmallConfig());
+  model.Train(flow);
+  eval::EvalWindow window;
+  window.min_history = model.MinHistorySlots(flow);
+  const eval::Metrics m = eval::EvaluateOnTestSplit(&model, flow, window);
+  EXPECT_GT(m.count, 0);
+  EXPECT_TRUE(std::isfinite(m.rmse));
+  EXPECT_TRUE(std::isfinite(m.mae));
+  EXPECT_GE(m.rmse, m.mae);
+  // Demand at tiny-city stations is small; a sane model should not be wildly
+  // off (HA-level error on this data is ~1-2 bikes).
+  EXPECT_LT(m.rmse, 10.0);
+}
+
+TEST(IntegrationTest, StgnnCompetitiveWithHistoricalAverage) {
+  const data::FlowDataset flow = MakeCity(777);
+  eval::EvalWindow window;
+
+  baselines::HistoricalAverage ha;
+  ha.Train(flow);
+  StgnnDjdPredictor stgnn(SmallConfig());
+  stgnn.Train(flow);
+  window.min_history = stgnn.MinHistorySlots(flow);
+
+  const eval::Metrics ha_metrics =
+      eval::EvaluateOnTestSplit(&ha, flow, window);
+  const eval::Metrics stgnn_metrics =
+      eval::EvaluateOnTestSplit(&stgnn, flow, window);
+  // With a tiny training budget the learned model should still land within
+  // 1.75x of HA (the paper's full-budget result is far better than HA).
+  EXPECT_LT(stgnn_metrics.rmse, ha_metrics.rmse * 1.75)
+      << "STGNN " << stgnn_metrics.rmse << " vs HA " << ha_metrics.rmse;
+}
+
+TEST(IntegrationTest, WholePipelineDeterministic) {
+  const data::FlowDataset flow_a = MakeCity(999);
+  const data::FlowDataset flow_b = MakeCity(999);
+  ASSERT_EQ(flow_a.num_slots, flow_b.num_slots);
+  EXPECT_TRUE(flow_a.demand.AllClose(flow_b.demand));
+
+  StgnnConfig config = SmallConfig();
+  config.epochs = 1;
+  config.max_samples_per_epoch = 32;
+  StgnnDjdPredictor a(config);
+  StgnnDjdPredictor b(config);
+  a.Train(flow_a);
+  b.Train(flow_b);
+  const int t = std::max(flow_a.val_end, a.MinHistorySlots(flow_a));
+  EXPECT_TRUE(a.Predict(flow_a, t).AllClose(b.Predict(flow_b, t), 1e-5f));
+}
+
+TEST(IntegrationTest, SeedStatsAcrossSeedsHaveSpread) {
+  const data::FlowDataset flow = MakeCity(1234);
+  StgnnConfig config = SmallConfig();
+  config.epochs = 1;
+  config.max_samples_per_epoch = 32;
+  const auto factory = [&config](uint64_t seed) {
+    StgnnConfig c = config;
+    c.seed = seed;
+    return std::make_unique<StgnnDjdPredictor>(c);
+  };
+  eval::EvalWindow window;
+  window.min_history =
+      flow.FirstPredictableSlot(config.short_term_slots, config.long_term_days);
+  const std::vector<eval::Metrics> runs =
+      eval::RunSeeds(factory, flow, window, 2);
+  const eval::SeedStats stats = eval::Summarize(runs);
+  EXPECT_EQ(stats.num_runs, 2);
+  EXPECT_GT(stats.mean_rmse, 0.0);
+  // Different seeds give (slightly) different models.
+  EXPECT_GT(stats.std_rmse, 0.0);
+}
+
+TEST(IntegrationTest, MlpBaselineTrainsOnSameData) {
+  const data::FlowDataset flow = MakeCity(31);
+  baselines::NeuralTrainOptions options;
+  options.epochs = 2;
+  options.max_samples_per_epoch = 64;
+  baselines::MlpModel mlp(options, 4, 2);
+  mlp.Train(flow);
+  eval::EvalWindow window;
+  window.min_history = mlp.MinHistorySlots(flow);
+  const eval::Metrics m = eval::EvaluateOnTestSplit(&mlp, flow, window);
+  EXPECT_TRUE(std::isfinite(m.rmse));
+  EXPECT_GT(m.count, 0);
+}
+
+}  // namespace
+}  // namespace stgnn

@@ -1,0 +1,259 @@
+#include <cmath>
+
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace stgnn::nn {
+namespace {
+
+namespace ag = stgnn::autograd;
+using autograd::Variable;
+using stgnn::testing::ExpectGradientsClose;
+using tensor::Tensor;
+
+TEST(InitTest, XavierBounds) {
+  common::Rng rng(1);
+  const Tensor w = XavierUniform2d(100, 50, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LT(v, bound);
+  }
+}
+
+TEST(InitTest, KaimingVariance) {
+  common::Rng rng(2);
+  const Tensor w = KaimingNormal({200, 200}, 200, &rng);
+  double sum_sq = 0.0;
+  for (float v : w.data()) sum_sq += v * v;
+  EXPECT_NEAR(sum_sq / w.size(), 2.0 / 200.0, 2e-3);
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  common::Rng rng(3);
+  Linear layer(4, 3, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({2, 4}));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.value().shape(), (tensor::Shape{2, 3}));
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  common::Rng rng(4);
+  Linear layer(4, 3, &rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.NumParameters(), 12);
+  Variable zero_in = Variable::Constant(Tensor::Zeros({1, 4}));
+  EXPECT_TRUE(layer.Forward(zero_in).value().AllClose(Tensor::Zeros({1, 3})));
+}
+
+TEST(LinearTest, MatchesManualAffine) {
+  common::Rng rng(5);
+  Linear layer(2, 2, &rng);
+  Tensor x({1, 2}, {1.0f, -2.0f});
+  const Tensor w = layer.weight().value();
+  const Tensor b = layer.bias().value();
+  const Tensor expect =
+      tensor::Add(tensor::MatMul(x, w), b);
+  EXPECT_TRUE(layer.Forward(Variable::Constant(x)).value().AllClose(expect));
+}
+
+TEST(ModuleTest, ParameterRegistry) {
+  common::Rng rng(6);
+  Mlp mlp({4, 8, 2}, &rng);
+  // Two Linear layers: 4*8+8 + 8*2+2.
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  EXPECT_EQ(mlp.parameters().size(), 4u);
+  mlp.ZeroGrad();
+  for (const auto& p : mlp.parameters()) {
+    EXPECT_TRUE(p.grad().AllClose(Tensor::Zeros(p.value().shape())));
+  }
+}
+
+TEST(RnnCellTest, ShapesAndBoundedOutput) {
+  common::Rng rng(7);
+  RnnCell cell(3, 5, &rng);
+  Variable x = Variable::Constant(Tensor::Ones({2, 3}));
+  Variable h = cell.InitialState(2);
+  Variable h1 = cell.Forward(x, h);
+  EXPECT_EQ(h1.value().shape(), (tensor::Shape{2, 5}));
+  for (float v : h1.value().data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(LstmCellTest, StateShapesAndGateEffect) {
+  common::Rng rng(8);
+  LstmCell cell(2, 4, &rng);
+  LstmCell::State state = cell.InitialState(3);
+  Variable x = Variable::Constant(Tensor::Ones({3, 2}));
+  LstmCell::State next = cell.Forward(x, state);
+  EXPECT_EQ(next.h.value().shape(), (tensor::Shape{3, 4}));
+  EXPECT_EQ(next.c.value().shape(), (tensor::Shape{3, 4}));
+  // Cell state should change from zero on non-zero input.
+  EXPECT_FALSE(next.c.value().AllClose(Tensor::Zeros({3, 4})));
+}
+
+TEST(RnnRunnerTest, SequenceLengthIndependentShapes) {
+  common::Rng rng(9);
+  RnnCell cell(2, 4, &rng);
+  std::vector<Variable> seq;
+  for (int i = 0; i < 7; ++i) {
+    seq.push_back(Variable::Constant(Tensor::Ones({3, 2})));
+  }
+  EXPECT_EQ(RunRnn(cell, seq, 3).value().shape(), (tensor::Shape{3, 4}));
+  LstmCell lstm(2, 4, &rng);
+  EXPECT_EQ(RunLstm(lstm, seq, 3).value().shape(), (tensor::Shape{3, 4}));
+}
+
+TEST(LstmGradCheck, BackpropThroughTime) {
+  common::Rng rng(10);
+  const Tensor x0 = Tensor::RandomUniform({2, 2}, -1, 1, &rng);
+  const Tensor x1 = Tensor::RandomUniform({2, 2}, -1, 1, &rng);
+  LstmCell cell(2, 3, &rng);
+  // Check gradients w.r.t. the inputs through two unrolled steps.
+  ExpectGradientsClose(
+      [&cell](const std::vector<Variable>& v) {
+        LstmCell::State state = cell.InitialState(2);
+        state = cell.Forward(v[0], state);
+        state = cell.Forward(v[1], state);
+        return ag::SumAll(ag::Square(state.h));
+      },
+      {x0, x1});
+}
+
+TEST(LossTest, MseKnownValue) {
+  Variable pred = Variable::Constant(Tensor({2, 2}, {1, 2, 3, 4}));
+  Variable target = Variable::Constant(Tensor({2, 2}, {1, 0, 3, 0}));
+  // Errors: 0, 2, 0, 4 -> mean of squares = (4 + 16) / 4 = 5.
+  EXPECT_NEAR(MseLoss(pred, target).value().item(), 5.0f, 1e-5);
+}
+
+TEST(LossTest, JointLossMatchesEquation21) {
+  // n = 2 stations; prediction errors demand {1, 0}, supply {0, 2}.
+  Variable pred = Variable::Constant(Tensor({2, 2}, {2, 1, 1, 0}));
+  Variable target = Variable::Constant(Tensor({2, 2}, {1, 1, 1, 2}));
+  // L = sqrt(mean_demand_sq + mean_supply_sq) = sqrt(0.5 + 2) = sqrt(2.5).
+  EXPECT_NEAR(JointDemandSupplyLoss(pred, target).value().item(),
+              std::sqrt(2.5f), 1e-4);
+}
+
+TEST(LossTest, JointLossGradcheck) {
+  common::Rng rng(11);
+  const Tensor pred = Tensor::RandomUniform({3, 2}, -1, 1, &rng);
+  const Tensor target = Tensor::RandomUniform({3, 2}, -1, 1, &rng);
+  ExpectGradientsClose(
+      [&target](const std::vector<Variable>& v) {
+        return JointDemandSupplyLoss(v[0], Variable::Constant(target));
+      },
+      {pred});
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable x = Variable::Parameter(Tensor::Scalar(5.0f));
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    Variable loss = ag::Square(x);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.value().item(), 0.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Variable a = Variable::Parameter(Tensor::Scalar(5.0f));
+  Variable b = Variable::Parameter(Tensor::Scalar(5.0f));
+  Sgd plain({a}, 0.01f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    plain.ZeroGrad();
+    ag::Square(a).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    ag::Square(b).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.value().item()), std::fabs(a.value().item()));
+}
+
+TEST(AdamTest, ConvergesOnQuadraticBowl) {
+  common::Rng rng(12);
+  Variable w = Variable::Parameter(Tensor::RandomUniform({4, 1}, -2, 2, &rng));
+  Adam opt({w}, 0.05f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    ag::SumAll(ag::Square(w)).Backward();
+    opt.Step();
+  }
+  for (float v : w.value().data()) EXPECT_NEAR(v, 0.0f, 1e-2);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  // y = 2 x1 - 3 x2 + 1; fit with a Linear layer.
+  common::Rng rng(13);
+  Linear layer(2, 1, &rng);
+  Adam opt(layer.parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::RandomUniform({16, 2}, -1, 1, &rng);
+    Tensor y({16, 1});
+    for (int i = 0; i < 16; ++i) {
+      y.at(i, 0) = 2.0f * x.at(i, 0) - 3.0f * x.at(i, 1) + 1.0f;
+    }
+    opt.ZeroGrad();
+    Variable loss = MseLoss(layer.Forward(Variable::Constant(x)),
+                            Variable::Constant(y));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(layer.weight().value().at(0, 0), 2.0f, 0.05f);
+  EXPECT_NEAR(layer.weight().value().at(1, 0), -3.0f, 0.05f);
+  EXPECT_NEAR(layer.bias().value().at(0, 0), 1.0f, 0.05f);
+}
+
+TEST(ClipGradTest, ScalesDownLargeGradients) {
+  Variable x = Variable::Parameter(Tensor({2}, {30.0f, 40.0f}));
+  ag::SumAll(ag::Mul(x, x)).Backward();  // grad = 2x = {60, 80}, norm 100
+  const float pre = ClipGradNorm({x}, 10.0f);
+  EXPECT_NEAR(pre, 100.0f, 1e-3);
+  const Tensor g = x.grad();
+  EXPECT_NEAR(std::sqrt(g.at(0) * g.at(0) + g.at(1) * g.at(1)), 10.0f, 1e-3);
+  // Direction preserved.
+  EXPECT_NEAR(g.at(0) / g.at(1), 60.0f / 80.0f, 1e-4);
+}
+
+TEST(ClipGradTest, NoopUnderThreshold) {
+  Variable x = Variable::Parameter(Tensor({2}, {0.3f, 0.4f}));
+  ag::SumAll(ag::Mul(x, x)).Backward();
+  const Tensor before = x.grad();
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_TRUE(x.grad().AllClose(before));
+}
+
+TEST(MlpTest, LearnsXorLikePattern) {
+  common::Rng rng(14);
+  Mlp mlp({2, 16, 1}, &rng);
+  Adam opt(mlp.parameters(), 0.03f);
+  const Tensor inputs({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const Tensor targets({4, 1}, {0, 1, 1, 0});
+  for (int step = 0; step < 800; ++step) {
+    opt.ZeroGrad();
+    Variable loss = MseLoss(mlp.Forward(Variable::Constant(inputs)),
+                            Variable::Constant(targets));
+    loss.Backward();
+    opt.Step();
+  }
+  const Tensor out = mlp.Forward(Variable::Constant(inputs)).value();
+  EXPECT_LT(out.at(0, 0), 0.3f);
+  EXPECT_GT(out.at(1, 0), 0.7f);
+  EXPECT_GT(out.at(2, 0), 0.7f);
+  EXPECT_LT(out.at(3, 0), 0.3f);
+}
+
+}  // namespace
+}  // namespace stgnn::nn

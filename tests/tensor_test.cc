@@ -1,0 +1,312 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorTest, ShapeAndSize) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.size(), 24);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(2), 4);
+}
+
+TEST(TensorTest, FactoryValues) {
+  EXPECT_FLOAT_EQ(Tensor::Ones({2, 2}).at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::Full({3}, 2.5f).at(2), 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::Scalar(9.0f).item(), 9.0f);
+  Tensor eye = Tensor::Eye(3);
+  EXPECT_FLOAT_EQ(eye.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(eye.at(0, 1), 0.0f);
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.ndim(), 1);
+  EXPECT_FLOAT_EQ(v.at(1), 2.0f);
+}
+
+TEST(TensorTest, RandomFactoriesRespectShapeAndRange) {
+  common::Rng rng(3);
+  Tensor u = Tensor::RandomUniform({50, 4}, -1.0f, 1.0f, &rng);
+  EXPECT_EQ(u.size(), 200);
+  for (float x : u.data()) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+  Tensor g = Tensor::RandomNormal({1000}, 2.0f, 0.5f, &rng);
+  double mean = 0.0;
+  for (float x : g.data()) mean += x;
+  EXPECT_NEAR(mean / 1000, 2.0, 0.1);
+}
+
+TEST(TensorTest, AtIndexing2d3d) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t.flat(5), 7.0f);
+  Tensor u({2, 2, 2});
+  u.at(1, 0, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(u.flat(5), 3.0f);
+}
+
+TEST(TensorTest, ReshapeAndInfer) {
+  Tensor t({2, 6});
+  for (int i = 0; i < 12; ++i) t.flat(i) = static_cast<float>(i);
+  Tensor r = t.Reshape({3, 4});
+  EXPECT_FLOAT_EQ(r.at(2, 3), 11.0f);
+  Tensor inferred = t.Reshape({-1, 3});
+  EXPECT_EQ(inferred.dim(0), 4);
+}
+
+TEST(TensorTest, Transpose) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = t.Transpose();
+  EXPECT_EQ(tt.dim(0), 3);
+  EXPECT_FLOAT_EQ(tt.at(2, 1), 6.0f);
+  EXPECT_TRUE(tt.Transpose().AllClose(t));
+}
+
+TEST(TensorTest, SliceRowsRowCol) {
+  Tensor t({4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor mid = t.SliceRows(1, 3);
+  EXPECT_EQ(mid.dim(0), 2);
+  EXPECT_FLOAT_EQ(mid.at(0, 0), 2.0f);
+  Tensor row = t.Row(2);
+  EXPECT_FLOAT_EQ(row.at(0, 1), 5.0f);
+  Tensor col = t.Col(1);
+  EXPECT_EQ(col.dim(0), 4);
+  EXPECT_FLOAT_EQ(col.at(3, 0), 7.0f);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(a.AllClose(b));
+  Tensor c({2}, {1.1f, 2.0f});
+  EXPECT_FALSE(a.AllClose(c));
+  Tensor d({1, 2}, {1.0f, 2.0f});
+  EXPECT_FALSE(a.AllClose(d));  // shape mismatch
+}
+
+// --- Broadcasting ---
+
+TEST(BroadcastTest, Shapes) {
+  EXPECT_EQ(BroadcastShapes({2, 3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({2, 1}, {1, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({3}, {2, 3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShapes({}, {4, 5}), (Shape{4, 5}));
+}
+
+TEST(BroadcastTest, AddSameShape) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  EXPECT_TRUE(Add(a, b).AllClose(Tensor({2, 2}, {11, 22, 33, 44})));
+}
+
+TEST(BroadcastTest, AddRowVector) {
+  Tensor a({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor row({1, 3}, {1, 2, 3});
+  EXPECT_TRUE(Add(a, row).AllClose(Tensor({2, 3}, {1, 2, 3, 2, 3, 4})));
+}
+
+TEST(BroadcastTest, AddColVector) {
+  Tensor a({2, 3}, {0, 0, 0, 0, 0, 0});
+  Tensor col({2, 1}, {5, 7});
+  EXPECT_TRUE(Add(a, col).AllClose(Tensor({2, 3}, {5, 5, 5, 7, 7, 7})));
+}
+
+TEST(BroadcastTest, OuterSum) {
+  Tensor col({2, 1}, {1, 2});
+  Tensor row({1, 2}, {10, 20});
+  EXPECT_TRUE(Add(col, row).AllClose(Tensor({2, 2}, {11, 21, 12, 22})));
+}
+
+TEST(BroadcastTest, MulDivSubMaximum) {
+  Tensor a({2, 2}, {2, 4, 6, 8});
+  Tensor s = Tensor::Scalar(2.0f);
+  EXPECT_TRUE(Mul(a, s).AllClose(Tensor({2, 2}, {4, 8, 12, 16})));
+  EXPECT_TRUE(Div(a, s).AllClose(Tensor({2, 2}, {1, 2, 3, 4})));
+  EXPECT_TRUE(Sub(a, a).AllClose(Tensor::Zeros({2, 2})));
+  Tensor b({2, 2}, {3, 3, 3, 9});
+  EXPECT_TRUE(Maximum(a, b).AllClose(Tensor({2, 2}, {3, 4, 6, 9})));
+  EXPECT_TRUE(Minimum(a, b).AllClose(Tensor({2, 2}, {2, 3, 3, 8})));
+}
+
+// --- Unary ops ---
+
+TEST(UnaryTest, Basics) {
+  Tensor a({3}, {-1.0f, 0.0f, 2.0f});
+  EXPECT_TRUE(Neg(a).AllClose(Tensor({3}, {1.0f, 0.0f, -2.0f})));
+  EXPECT_TRUE(Relu(a).AllClose(Tensor({3}, {0.0f, 0.0f, 2.0f})));
+  EXPECT_TRUE(Abs(a).AllClose(Tensor({3}, {1.0f, 0.0f, 2.0f})));
+  EXPECT_TRUE(Square(a).AllClose(Tensor({3}, {1.0f, 0.0f, 4.0f})));
+  EXPECT_NEAR(Exp(a).at(2), std::exp(2.0f), 1e-5);
+  EXPECT_NEAR(Sigmoid(a).at(1), 0.5f, 1e-6);
+  EXPECT_NEAR(Tanh(a).at(0), std::tanh(-1.0f), 1e-6);
+}
+
+TEST(UnaryTest, EluMatchesDefinition) {
+  Tensor a({2}, {-2.0f, 3.0f});
+  Tensor e = Elu(a);
+  EXPECT_NEAR(e.at(0), std::exp(-2.0f) - 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(e.at(1), 3.0f);
+}
+
+TEST(UnaryTest, ClampAndScalarOps) {
+  Tensor a({3}, {-5.0f, 0.5f, 9.0f});
+  EXPECT_TRUE(Clamp(a, 0.0f, 1.0f).AllClose(Tensor({3}, {0.0f, 0.5f, 1.0f})));
+  EXPECT_TRUE(AddScalar(a, 1.0f).AllClose(Tensor({3}, {-4.0f, 1.5f, 10.0f})));
+  EXPECT_TRUE(MulScalar(a, 2.0f).AllClose(Tensor({3}, {-10.0f, 1.0f, 18.0f})));
+}
+
+// --- MatMul ---
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_TRUE(c.AllClose(Tensor({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(MatMulTest, IdentityIsNoop) {
+  common::Rng rng(5);
+  Tensor a = Tensor::RandomNormal({4, 4}, 0.0f, 1.0f, &rng);
+  EXPECT_TRUE(MatMul(a, Tensor::Eye(4)).AllClose(a));
+  EXPECT_TRUE(MatMul(Tensor::Eye(4), a).AllClose(a));
+}
+
+TEST(MatMulTest, AssociativeWithTranspose) {
+  common::Rng rng(6);
+  Tensor a = Tensor::RandomNormal({3, 5}, 0.0f, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({5, 2}, 0.0f, 1.0f, &rng);
+  // (A B)^T == B^T A^T
+  EXPECT_TRUE(MatMul(a, b).Transpose().AllClose(
+      MatMul(b.Transpose(), a.Transpose()), 1e-4f));
+}
+
+// --- Reductions ---
+
+TEST(ReduceTest, SumMeanMinMax) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 3.5f);
+  EXPECT_FLOAT_EQ(MaxAll(a), 6.0f);
+  EXPECT_FLOAT_EQ(MinAll(a), 1.0f);
+}
+
+TEST(ReduceTest, AxisReductions) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(SumAxis(a, 0).AllClose(Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(SumAxis(a, 1).AllClose(Tensor({2}, {6, 15})));
+  EXPECT_TRUE(SumAxis(a, 1, true).AllClose(Tensor({2, 1}, {6, 15})));
+  EXPECT_TRUE(MeanAxis(a, 0).AllClose(Tensor({3}, {2.5f, 3.5f, 4.5f})));
+  EXPECT_TRUE(MaxAxis(a, 1).AllClose(Tensor({2}, {3, 6})));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Tensor a({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor s = RowSoftmax(a);
+  for (int i = 0; i < 2; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(s.at(0, 0), s.at(0, 2));
+}
+
+TEST(SoftmaxTest, NumericallyStableWithLargeLogits) {
+  Tensor a({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = RowSoftmax(a);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(s.at(0, j), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  Tensor a({1, 4}, {0.1f, -0.5f, 2.0f, 1.0f});
+  Tensor shifted = AddScalar(a, 100.0f);
+  EXPECT_TRUE(RowSoftmax(a).AllClose(RowSoftmax(shifted), 1e-4f));
+}
+
+// --- Concat / Stack ---
+
+TEST(ConcatTest, Rows) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 0);
+  EXPECT_TRUE(c.AllClose(Tensor({3, 2}, {1, 2, 3, 4, 5, 6})));
+}
+
+TEST(ConcatTest, Cols) {
+  Tensor a({2, 1}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = Concat({a, b}, 1);
+  EXPECT_TRUE(c.AllClose(Tensor({2, 3}, {1, 3, 4, 2, 5, 6})));
+}
+
+TEST(StackTest, AddsLeadingAxis) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(s.at(1, 0), 3.0f);
+}
+
+// --- Parameterized property sweep: broadcasting matches manual loops ---
+
+class BroadcastSweep
+    : public ::testing::TestWithParam<std::tuple<Shape, Shape>> {};
+
+TEST_P(BroadcastSweep, AddMatchesManual) {
+  const auto& [sa, sb] = GetParam();
+  common::Rng rng(99);
+  Tensor a = Tensor::RandomNormal(sa, 0.0f, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(sb, 0.0f, 1.0f, &rng);
+  Tensor c = Add(a, b);
+  const Shape expected = BroadcastShapes(sa, sb);
+  ASSERT_EQ(c.shape(), expected);
+  // Verify against the symmetric computation.
+  EXPECT_TRUE(c.AllClose(Add(b, a)));
+  // a + b - b == broadcast of a.
+  Tensor back = Sub(c, b);
+  Tensor a_broadcast = Add(a, Tensor::Zeros(expected));
+  EXPECT_TRUE(back.AllClose(a_broadcast, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BroadcastSweep,
+    ::testing::Values(std::make_tuple(Shape{3, 4}, Shape{3, 4}),
+                      std::make_tuple(Shape{3, 1}, Shape{1, 4}),
+                      std::make_tuple(Shape{4}, Shape{3, 4}),
+                      std::make_tuple(Shape{2, 3, 4}, Shape{3, 4}),
+                      std::make_tuple(Shape{2, 1, 4}, Shape{1, 3, 1}),
+                      std::make_tuple(Shape{1}, Shape{5})));
+
+// Matmul distributivity as a randomized property.
+class MatMulSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatMulSweep, DistributesOverAddition) {
+  const int n = GetParam();
+  common::Rng rng(n);
+  Tensor a = Tensor::RandomNormal({n, n}, 0.0f, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, 0.0f, 1.0f, &rng);
+  Tensor c = Tensor::RandomNormal({n, n}, 0.0f, 1.0f, &rng);
+  Tensor lhs = MatMul(a, Add(b, c));
+  Tensor rhs = Add(MatMul(a, b), MatMul(a, c));
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatMulSweep, ::testing::Values(1, 2, 5, 16));
+
+}  // namespace
+}  // namespace stgnn::tensor

@@ -1,0 +1,263 @@
+// Command-line front end for the library: simulate cities, train and
+// checkpoint STGNN-DJD, evaluate any model, and export trips to CSV.
+//
+// Usage:
+//   stgnn_cli simulate --city chicago --trips out_trips.csv --stations out_stations.csv
+//   stgnn_cli train    --city la --epochs 8 --checkpoint model.ckpt
+//   stgnn_cli evaluate --city tiny --model ha|arima|xgboost|mlp|stgnn
+//   stgnn_cli predict  --city tiny --checkpoint model.ckpt --slot 1500
+//
+// `--city` accepts chicago | la | tiny (synthetic presets) — or pass
+// `--trips-csv F --stations-csv F` to read exported data instead.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/arima.h"
+#include "baselines/gbrt.h"
+#include "baselines/ha.h"
+#include "baselines/mlp_model.h"
+#include "core/stgnn_djd.h"
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "eval/experiment.h"
+#include "nn/serialize.h"
+
+namespace {
+
+using namespace stgnn;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+data::CityConfig CityFor(const std::string& name) {
+  if (name == "chicago") return data::CityConfig::ChicagoLike();
+  if (name == "la") return data::CityConfig::LaLike();
+  return data::CityConfig::Tiny();
+}
+
+Result<data::TripDataset> LoadOrSimulate(
+    const std::map<std::string, std::string>& flags) {
+  const auto trips_it = flags.find("trips-csv");
+  const auto stations_it = flags.find("stations-csv");
+  if (trips_it != flags.end() && stations_it != flags.end()) {
+    return data::LoadTripsCsv(trips_it->second, stations_it->second);
+  }
+  const auto city_it = flags.find("city");
+  data::CityConfig config =
+      CityFor(city_it != flags.end() ? city_it->second : "tiny");
+  if (flags.count("days")) config.num_days = std::stoi(flags.at("days"));
+  if (flags.count("seed")) config.seed = std::stoull(flags.at("seed"));
+  return data::CitySimulator(config).Generate();
+}
+
+core::StgnnConfig ModelConfig(const std::map<std::string, std::string>& flags,
+                              const data::FlowDataset& flow) {
+  core::StgnnConfig config;
+  // Shrink history windows for small datasets so training is possible.
+  config.short_term_slots = std::min(96, flow.train_end / 4);
+  config.long_term_days =
+      std::min(7, flow.train_end / flow.slots_per_day - 1);
+  config.fcg_layers = 1;
+  config.pcg_layers = 1;
+  config.epochs = 6;
+  config.max_samples_per_epoch = 192;
+  config.learning_rate = 0.005f;
+  config.dropout = 0.1f;
+  if (flags.count("epochs")) config.epochs = std::stoi(flags.at("epochs"));
+  if (flags.count("horizon")) config.horizon = std::stoi(flags.at("horizon"));
+  if (flags.count("heads")) {
+    config.attention_heads = std::stoi(flags.at("heads"));
+  }
+  return config;
+}
+
+int CmdSimulate(const std::map<std::string, std::string>& flags) {
+  auto trips = LoadOrSimulate(flags);
+  if (!trips.ok()) {
+    std::fprintf(stderr, "error: %s\n", trips.status().ToString().c_str());
+    return 1;
+  }
+  data::TripDataset dataset = std::move(trips).ValueOrDie();
+  const int dropped = data::CleanseTrips(&dataset);
+  std::printf("simulated %zu trips (%d dropped), %d stations, %d days\n",
+              dataset.trips.size(), dropped, dataset.num_stations(),
+              dataset.num_days);
+  if (flags.count("trips")) {
+    const Status st = data::SaveTripsCsv(dataset, flags.at("trips"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.at("trips").c_str());
+  }
+  if (flags.count("stations")) {
+    const Status st = data::SaveStationsCsv(dataset, flags.at("stations"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.at("stations").c_str());
+  }
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  auto trips = LoadOrSimulate(flags);
+  if (!trips.ok()) {
+    std::fprintf(stderr, "error: %s\n", trips.status().ToString().c_str());
+    return 1;
+  }
+  data::TripDataset dataset = std::move(trips).ValueOrDie();
+  data::CleanseTrips(&dataset);
+  const data::FlowDataset flow = data::BuildFlowDataset(dataset);
+  core::StgnnConfig config = ModelConfig(flags, flow);
+  config.verbose = true;
+  core::StgnnDjdPredictor model(config);
+  std::printf("training %s on %s (%d stations)...\n", model.name().c_str(),
+              flow.city_name.c_str(), flow.num_stations);
+  model.Train(flow);
+  eval::EvalWindow window;
+  window.min_history = model.MinHistorySlots(flow);
+  const eval::Metrics metrics =
+      eval::EvaluateOnTestSplit(&model, flow, window);
+  std::printf("test RMSE %.3f MAE %.3f over %lld terms\n", metrics.rmse,
+              metrics.mae, static_cast<long long>(metrics.count));
+  if (flags.count("checkpoint")) {
+    const Status st =
+        nn::SaveParameters(*model.model(), flags.at("checkpoint"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n", flags.at("checkpoint").c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  auto trips = LoadOrSimulate(flags);
+  if (!trips.ok()) {
+    std::fprintf(stderr, "error: %s\n", trips.status().ToString().c_str());
+    return 1;
+  }
+  data::TripDataset dataset = std::move(trips).ValueOrDie();
+  data::CleanseTrips(&dataset);
+  const data::FlowDataset flow = data::BuildFlowDataset(dataset);
+  const std::string which =
+      flags.count("model") ? flags.at("model") : "stgnn";
+  std::unique_ptr<eval::Predictor> model;
+  baselines::NeuralTrainOptions neural;
+  neural.epochs = 6;
+  if (which == "ha") {
+    model = std::make_unique<baselines::HistoricalAverage>();
+  } else if (which == "arima") {
+    model = std::make_unique<baselines::Arima>();
+  } else if (which == "xgboost") {
+    model = std::make_unique<baselines::XgboostPredictor>();
+  } else if (which == "mlp") {
+    model = std::make_unique<baselines::MlpModel>(neural, 8,
+                                                  std::min(7, flow.train_end /
+                                                                  flow.slots_per_day -
+                                                              1));
+  } else {
+    model = std::make_unique<core::StgnnDjdPredictor>(
+        ModelConfig(flags, flow));
+  }
+  std::printf("training %s...\n", model->name().c_str());
+  model->Train(flow);
+  eval::EvalWindow window;
+  window.min_history = flow.FirstPredictableSlot(
+      std::min(96, flow.train_end / 4),
+      std::min(7, flow.train_end / flow.slots_per_day - 1));
+  const eval::Metrics metrics =
+      eval::EvaluateOnTestSplit(model.get(), flow, window);
+  std::printf("%-10s RMSE %.3f MAE %.3f (%lld terms)\n",
+              model->name().c_str(), metrics.rmse, metrics.mae,
+              static_cast<long long>(metrics.count));
+  return 0;
+}
+
+int CmdPredict(const std::map<std::string, std::string>& flags) {
+  auto trips = LoadOrSimulate(flags);
+  if (!trips.ok()) {
+    std::fprintf(stderr, "error: %s\n", trips.status().ToString().c_str());
+    return 1;
+  }
+  data::TripDataset dataset = std::move(trips).ValueOrDie();
+  data::CleanseTrips(&dataset);
+  const data::FlowDataset flow = data::BuildFlowDataset(dataset);
+  core::StgnnConfig config = ModelConfig(flags, flow);
+  core::StgnnDjdPredictor model(config);
+  if (flags.count("checkpoint")) {
+    // Build the network without training, then load weights. Train() with
+    // zero epochs constructs the model and normalizer.
+    core::StgnnConfig quick = config;
+    quick.epochs = 1;
+    quick.max_samples_per_epoch = 1;
+    core::StgnnDjdPredictor loaded(quick);
+    loaded.Train(flow);
+    const Status st = nn::LoadParameters(
+        flags.at("checkpoint"),
+        const_cast<core::StgnnDjdModel*>(loaded.model()));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const int t = flags.count("slot") ? std::stoi(flags.at("slot"))
+                                      : flow.val_end;
+    const tensor::Tensor out = loaded.Predict(flow, t);
+    for (int i = 0; i < flow.num_stations; ++i) {
+      std::printf("%-30s demand %.2f supply %.2f\n",
+                  flow.stations[i].name.c_str(), out.at(i, 0), out.at(i, 1));
+    }
+    return 0;
+  }
+  std::printf("training (no checkpoint given)...\n");
+  model.Train(flow);
+  const int t =
+      flags.count("slot") ? std::stoi(flags.at("slot")) : flow.val_end;
+  const tensor::Tensor out = model.Predict(flow, t);
+  for (int i = 0; i < flow.num_stations; ++i) {
+    std::printf("%-30s demand %.2f supply %.2f\n",
+                flow.stations[i].name.c_str(), out.at(i, 0), out.at(i, 1));
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: stgnn_cli <simulate|train|evaluate|predict> "
+               "[--city chicago|la|tiny] [--days N] [--seed S]\n"
+               "  simulate [--trips F --stations F]\n"
+               "  train    [--epochs N --horizon H --checkpoint F]\n"
+               "  evaluate [--model ha|arima|xgboost|mlp|stgnn]\n"
+               "  predict  [--checkpoint F --slot T]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "predict") return CmdPredict(flags);
+  Usage();
+  return 2;
+}
