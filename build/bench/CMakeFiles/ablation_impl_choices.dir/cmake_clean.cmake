@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_impl_choices.dir/ablation_impl_choices.cc.o"
+  "CMakeFiles/ablation_impl_choices.dir/ablation_impl_choices.cc.o.d"
+  "ablation_impl_choices"
+  "ablation_impl_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_impl_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficiency_inference.dir/efficiency_inference.cc.o"
+  "CMakeFiles/efficiency_inference.dir/efficiency_inference.cc.o.d"
+  "efficiency_inference"
+  "efficiency_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficiency_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

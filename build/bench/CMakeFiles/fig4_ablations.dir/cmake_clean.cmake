@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ablations.dir/fig4_ablations.cc.o"
+  "CMakeFiles/fig4_ablations.dir/fig4_ablations.cc.o.d"
+  "fig4_ablations"
+  "fig4_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

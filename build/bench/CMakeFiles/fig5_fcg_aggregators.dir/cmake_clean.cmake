@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fcg_aggregators.dir/fig5_fcg_aggregators.cc.o"
+  "CMakeFiles/fig5_fcg_aggregators.dir/fig5_fcg_aggregators.cc.o.d"
+  "fig5_fcg_aggregators"
+  "fig5_fcg_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fcg_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

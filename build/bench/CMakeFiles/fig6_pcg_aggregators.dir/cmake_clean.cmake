@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pcg_aggregators.dir/fig6_pcg_aggregators.cc.o"
+  "CMakeFiles/fig6_pcg_aggregators.dir/fig6_pcg_aggregators.cc.o.d"
+  "fig6_pcg_aggregators"
+  "fig6_pcg_aggregators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pcg_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_head_sweep.dir/fig7_head_sweep.cc.o"
+  "CMakeFiles/fig7_head_sweep.dir/fig7_head_sweep.cc.o.d"
+  "fig7_head_sweep"
+  "fig7_head_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_head_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

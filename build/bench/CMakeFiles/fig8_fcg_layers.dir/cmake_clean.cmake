@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fcg_layers.dir/fig8_fcg_layers.cc.o"
+  "CMakeFiles/fig8_fcg_layers.dir/fig8_fcg_layers.cc.o.d"
+  "fig8_fcg_layers"
+  "fig8_fcg_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fcg_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pcg_layers.dir/fig9_pcg_layers.cc.o"
+  "CMakeFiles/fig9_pcg_layers.dir/fig9_pcg_layers.cc.o.d"
+  "fig9_pcg_layers"
+  "fig9_pcg_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pcg_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

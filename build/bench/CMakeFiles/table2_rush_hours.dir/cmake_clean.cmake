@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rush_hours.dir/table2_rush_hours.cc.o"
+  "CMakeFiles/table2_rush_hours.dir/table2_rush_hours.cc.o.d"
+  "table2_rush_hours"
+  "table2_rush_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rush_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_dependency.dir/case_study_dependency.cc.o"
+  "CMakeFiles/case_study_dependency.dir/case_study_dependency.cc.o.d"
+  "case_study_dependency"
+  "case_study_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_step_forecast.dir/multi_step_forecast.cc.o"
+  "CMakeFiles/multi_step_forecast.dir/multi_step_forecast.cc.o.d"
+  "multi_step_forecast"
+  "multi_step_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_step_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

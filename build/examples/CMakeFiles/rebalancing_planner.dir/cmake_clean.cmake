@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalancing_planner.dir/rebalancing_planner.cc.o"
+  "CMakeFiles/rebalancing_planner.dir/rebalancing_planner.cc.o.d"
+  "rebalancing_planner"
+  "rebalancing_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalancing_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_autograd.dir/ops.cc.o"
+  "CMakeFiles/stgnn_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/stgnn_autograd.dir/variable.cc.o"
+  "CMakeFiles/stgnn_autograd.dir/variable.cc.o.d"
+  "libstgnn_autograd.a"
+  "libstgnn_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arima.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/arima.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/arima.cc.o.d"
+  "/root/repo/src/baselines/astgcn.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/astgcn.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/astgcn.cc.o.d"
+  "/root/repo/src/baselines/gbike.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gbike.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gbike.cc.o.d"
+  "/root/repo/src/baselines/gbrt.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gbrt.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gbrt.cc.o.d"
+  "/root/repo/src/baselines/gcnn.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gcnn.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/gcnn.cc.o.d"
+  "/root/repo/src/baselines/ha.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/ha.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/ha.cc.o.d"
+  "/root/repo/src/baselines/mgnn.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/mgnn.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/mgnn.cc.o.d"
+  "/root/repo/src/baselines/mlp_model.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/mlp_model.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/mlp_model.cc.o.d"
+  "/root/repo/src/baselines/neural_base.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/neural_base.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/neural_base.cc.o.d"
+  "/root/repo/src/baselines/recurrent_models.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/recurrent_models.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/recurrent_models.cc.o.d"
+  "/root/repo/src/baselines/stsgcn.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/stsgcn.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/stsgcn.cc.o.d"
+  "/root/repo/src/baselines/window_features.cc" "src/baselines/CMakeFiles/stgnn_baselines.dir/window_features.cc.o" "gcc" "src/baselines/CMakeFiles/stgnn_baselines.dir/window_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/stgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/stgnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/stgnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_baselines.dir/arima.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/arima.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/astgcn.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/astgcn.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/gbike.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/gbike.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/gbrt.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/gbrt.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/gcnn.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/gcnn.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/ha.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/ha.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/mgnn.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/mgnn.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/mlp_model.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/mlp_model.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/neural_base.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/neural_base.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/recurrent_models.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/recurrent_models.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/stsgcn.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/stsgcn.cc.o.d"
+  "CMakeFiles/stgnn_baselines.dir/window_features.cc.o"
+  "CMakeFiles/stgnn_baselines.dir/window_features.cc.o.d"
+  "libstgnn_baselines.a"
+  "libstgnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

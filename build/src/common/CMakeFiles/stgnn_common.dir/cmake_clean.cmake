@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_common.dir/rng.cc.o"
+  "CMakeFiles/stgnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/stgnn_common.dir/status.cc.o"
+  "CMakeFiles/stgnn_common.dir/status.cc.o.d"
+  "CMakeFiles/stgnn_common.dir/string_util.cc.o"
+  "CMakeFiles/stgnn_common.dir/string_util.cc.o.d"
+  "libstgnn_common.a"
+  "libstgnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

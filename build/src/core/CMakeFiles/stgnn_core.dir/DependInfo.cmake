@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregators.cc" "src/core/CMakeFiles/stgnn_core.dir/aggregators.cc.o" "gcc" "src/core/CMakeFiles/stgnn_core.dir/aggregators.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/stgnn_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/stgnn_core.dir/config.cc.o.d"
+  "/root/repo/src/core/flow_convolution.cc" "src/core/CMakeFiles/stgnn_core.dir/flow_convolution.cc.o" "gcc" "src/core/CMakeFiles/stgnn_core.dir/flow_convolution.cc.o.d"
+  "/root/repo/src/core/graph_generator.cc" "src/core/CMakeFiles/stgnn_core.dir/graph_generator.cc.o" "gcc" "src/core/CMakeFiles/stgnn_core.dir/graph_generator.cc.o.d"
+  "/root/repo/src/core/stgnn_djd.cc" "src/core/CMakeFiles/stgnn_core.dir/stgnn_djd.cc.o" "gcc" "src/core/CMakeFiles/stgnn_core.dir/stgnn_djd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/stgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/stgnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/stgnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_core.dir/aggregators.cc.o"
+  "CMakeFiles/stgnn_core.dir/aggregators.cc.o.d"
+  "CMakeFiles/stgnn_core.dir/config.cc.o"
+  "CMakeFiles/stgnn_core.dir/config.cc.o.d"
+  "CMakeFiles/stgnn_core.dir/flow_convolution.cc.o"
+  "CMakeFiles/stgnn_core.dir/flow_convolution.cc.o.d"
+  "CMakeFiles/stgnn_core.dir/graph_generator.cc.o"
+  "CMakeFiles/stgnn_core.dir/graph_generator.cc.o.d"
+  "CMakeFiles/stgnn_core.dir/stgnn_djd.cc.o"
+  "CMakeFiles/stgnn_core.dir/stgnn_djd.cc.o.d"
+  "libstgnn_core.a"
+  "libstgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_data.dir/city_simulator.cc.o"
+  "CMakeFiles/stgnn_data.dir/city_simulator.cc.o.d"
+  "CMakeFiles/stgnn_data.dir/flow_dataset.cc.o"
+  "CMakeFiles/stgnn_data.dir/flow_dataset.cc.o.d"
+  "CMakeFiles/stgnn_data.dir/window.cc.o"
+  "CMakeFiles/stgnn_data.dir/window.cc.o.d"
+  "libstgnn_data.a"
+  "libstgnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

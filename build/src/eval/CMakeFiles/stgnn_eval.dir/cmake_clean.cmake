@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_eval.dir/experiment.cc.o"
+  "CMakeFiles/stgnn_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/stgnn_eval.dir/metrics.cc.o"
+  "CMakeFiles/stgnn_eval.dir/metrics.cc.o.d"
+  "libstgnn_eval.a"
+  "libstgnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_graph.dir/graph.cc.o"
+  "CMakeFiles/stgnn_graph.dir/graph.cc.o.d"
+  "CMakeFiles/stgnn_graph.dir/layers.cc.o"
+  "CMakeFiles/stgnn_graph.dir/layers.cc.o.d"
+  "libstgnn_graph.a"
+  "libstgnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/stgnn_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/stgnn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/stgnn_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/stgnn_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/stgnn_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/stgnn_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/stgnn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/stgnn_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/stgnn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_nn.dir/init.cc.o"
+  "CMakeFiles/stgnn_nn.dir/init.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/linear.cc.o"
+  "CMakeFiles/stgnn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/loss.cc.o"
+  "CMakeFiles/stgnn_nn.dir/loss.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/module.cc.o"
+  "CMakeFiles/stgnn_nn.dir/module.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/stgnn_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/rnn.cc.o"
+  "CMakeFiles/stgnn_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/stgnn_nn.dir/serialize.cc.o"
+  "CMakeFiles/stgnn_nn.dir/serialize.cc.o.d"
+  "libstgnn_nn.a"
+  "libstgnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/stgnn_tensor.dir/tensor.cc.o.d"
+  "libstgnn_tensor.a"
+  "libstgnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

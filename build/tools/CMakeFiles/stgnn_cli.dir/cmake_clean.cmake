@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stgnn_cli.dir/stgnn_cli.cc.o"
+  "CMakeFiles/stgnn_cli.dir/stgnn_cli.cc.o.d"
+  "stgnn_cli"
+  "stgnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stgnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
