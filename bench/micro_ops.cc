@@ -1,11 +1,20 @@
 // Micro-benchmarks of the computational kernels the model spends its time
 // in: matmul, row softmax, the attention aggregator, flow convolution, and
 // a full forward/backward step. Useful for tracking substrate regressions.
+//
+// Every benchmark takes the kernel thread count as its last argument and
+// sweeps 1/2/4/hardware threads (deduplicated), so one run shows both the
+// serial baseline and the pool scaling. `tools/bench_baseline` distils the
+// same kernels into BENCH_kernels.json for the tracked perf record.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "autograd/ops.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/aggregators.h"
 #include "core/flow_convolution.h"
 #include "nn/loss.h"
@@ -18,8 +27,30 @@ using autograd::Variable;
 namespace ag = stgnn::autograd;
 using tensor::Tensor;
 
+// 1/2/4/N kernel threads, deduplicated and sorted.
+std::vector<int64_t> ThreadSweep() {
+  std::vector<int64_t> sweep = {1, 2, 4, common::HardwareThreads()};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  return sweep;
+}
+
+void MatMulArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {24, 50, 128, 256, 512}) {
+    for (int64_t t : ThreadSweep()) b->Args({n, t});
+  }
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b,
+               std::initializer_list<int64_t> sizes) {
+  for (int64_t n : sizes) {
+    for (int64_t t : ThreadSweep()) b->Args({n, t});
+  }
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
   common::Rng rng(1);
   const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
   const Tensor b = Tensor::RandomNormal({n, n}, 0, 1, &rng);
@@ -28,20 +59,46 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(24)->Arg(50)->Arg(128);
+BENCHMARK(BM_MatMul)->Apply(MatMulArgs);
 
 void BM_RowSoftmax(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
   common::Rng rng(2);
   const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::RowSoftmax(a));
   }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
 }
-BENCHMARK(BM_RowSoftmax)->Arg(50)->Arg(128);
+BENCHMARK(BM_RowSoftmax)->Apply([](benchmark::internal::Benchmark* b) {
+  SweepArgs(b, {50, 128, 256, 512});
+});
+
+void BM_MaskedNeighborMax(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
+  common::Rng rng(6);
+  const Tensor h = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  Tensor mask = Tensor::Zeros({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      mask.at(i, j) = ((i + j) % 3 == 0) ? 1.0f : 0.0f;
+    }
+  }
+  Variable hv = Variable::Constant(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MaskedNeighborMax(hv, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
+}
+BENCHMARK(BM_MaskedNeighborMax)->Apply([](benchmark::internal::Benchmark* b) {
+  SweepArgs(b, {50, 128});
+});
 
 void BM_AttentionLayerForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
   common::Rng rng(3);
   core::AttentionGnnLayer layer(n, 4, &rng);
   Variable features =
@@ -50,10 +107,12 @@ void BM_AttentionLayerForward(benchmark::State& state) {
     benchmark::DoNotOptimize(layer.Forward(features));
   }
 }
-BENCHMARK(BM_AttentionLayerForward)->Arg(24)->Arg(50);
+BENCHMARK(BM_AttentionLayerForward)
+    ->Apply([](benchmark::internal::Benchmark* b) { SweepArgs(b, {24, 50}); });
 
 void BM_FlowConvolutionForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
   common::Rng rng(4);
   core::FlowConvolution conv(n, 96, 7, &rng);
   data::StHistory history;
@@ -65,10 +124,12 @@ void BM_FlowConvolutionForward(benchmark::State& state) {
     benchmark::DoNotOptimize(conv.Forward(history));
   }
 }
-BENCHMARK(BM_FlowConvolutionForward)->Arg(24)->Arg(50);
+BENCHMARK(BM_FlowConvolutionForward)
+    ->Apply([](benchmark::internal::Benchmark* b) { SweepArgs(b, {24, 50}); });
 
 void BM_ForwardBackwardStep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
+  common::SetNumThreads(static_cast<int>(state.range(1)));
   common::Rng rng(5);
   core::AttentionGnnLayer layer(n, 4, &rng);
   Variable features =
@@ -83,7 +144,8 @@ void BM_ForwardBackwardStep(benchmark::State& state) {
     benchmark::DoNotOptimize(loss.value().item());
   }
 }
-BENCHMARK(BM_ForwardBackwardStep)->Arg(24)->Arg(50);
+BENCHMARK(BM_ForwardBackwardStep)
+    ->Apply([](benchmark::internal::Benchmark* b) { SweepArgs(b, {24, 50}); });
 
 }  // namespace
 }  // namespace stgnn

@@ -1,12 +1,36 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
+
+#include "common/thread_pool.h"
 
 namespace stgnn::autograd {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+// Grain matching the tensor library's elementwise kernels: backward local
+// gradients below this size run inline with no pool involvement.
+constexpr int64_t kGradGrain = 16384;
+
+// Elementwise local gradient g[i] = fn(x[i], y[i]) over the pool.
+template <typename Fn>
+Tensor ElementwiseLocalGrad(const Tensor& x, const Tensor& y, Fn fn) {
+  Tensor g(x.shape());
+  float* gd = g.mutable_data().data();
+  const float* xd = x.data().data();
+  const float* yd = y.data().data();
+  common::ParallelFor(0, g.size(), kGradGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) gd[i] = fn(xd[i], yd[i]);
+  });
+  return g;
+}
+
+}  // namespace
 
 namespace {
 
@@ -147,14 +171,10 @@ Variable Square(const Variable& a) {
 
 Variable Relu(const Variable& a) {
   return UnaryOp(a, tensor::Relu(a.value()),
-                 [](const Tensor& x, const Tensor&) {
-                   Tensor mask(x.shape());
-                   auto& m = mask.mutable_data();
-                   const auto& d = x.data();
-                   for (size_t i = 0; i < m.size(); ++i) {
-                     m[i] = d[i] > 0.0f ? 1.0f : 0.0f;
-                   }
-                   return mask;
+                 [](const Tensor& x, const Tensor& y) {
+                   return ElementwiseLocalGrad(x, y, [](float xv, float) {
+                     return xv > 0.0f ? 1.0f : 0.0f;
+                   });
                  });
 }
 
@@ -162,41 +182,29 @@ Variable Elu(const Variable& a, float alpha) {
   return UnaryOp(a, tensor::Elu(a.value(), alpha),
                  [alpha](const Tensor& x, const Tensor& y) {
                    // d elu/dx = 1 for x > 0, else alpha * exp(x) = y + alpha.
-                   Tensor g(x.shape());
-                   auto& gd = g.mutable_data();
-                   const auto& xd = x.data();
-                   const auto& yd = y.data();
-                   for (size_t i = 0; i < gd.size(); ++i) {
-                     gd[i] = xd[i] > 0.0f ? 1.0f : yd[i] + alpha;
-                   }
-                   return g;
+                   return ElementwiseLocalGrad(
+                       x, y, [alpha](float xv, float yv) {
+                         return xv > 0.0f ? 1.0f : yv + alpha;
+                       });
                  });
 }
 
 Variable Sigmoid(const Variable& a) {
   return UnaryOp(a, tensor::Sigmoid(a.value()),
-                 [](const Tensor&, const Tensor& y) {
+                 [](const Tensor& x, const Tensor& y) {
                    // y * (1 - y).
-                   Tensor g(y.shape());
-                   auto& gd = g.mutable_data();
-                   const auto& yd = y.data();
-                   for (size_t i = 0; i < gd.size(); ++i) {
-                     gd[i] = yd[i] * (1.0f - yd[i]);
-                   }
-                   return g;
+                   return ElementwiseLocalGrad(x, y, [](float, float yv) {
+                     return yv * (1.0f - yv);
+                   });
                  });
 }
 
 Variable Tanh(const Variable& a) {
   return UnaryOp(a, tensor::Tanh(a.value()),
-                 [](const Tensor&, const Tensor& y) {
-                   Tensor g(y.shape());
-                   auto& gd = g.mutable_data();
-                   const auto& yd = y.data();
-                   for (size_t i = 0; i < gd.size(); ++i) {
-                     gd[i] = 1.0f - yd[i] * yd[i];
-                   }
-                   return g;
+                 [](const Tensor& x, const Tensor& y) {
+                   return ElementwiseLocalGrad(x, y, [](float, float yv) {
+                     return 1.0f - yv * yv;
+                   });
                  });
 }
 
@@ -366,13 +374,23 @@ Variable RowSoftmax(const Variable& a) {
       const int rows = y.dim(0);
       const int cols = y.dim(1);
       Tensor dx(y.shape());
-      for (int i = 0; i < rows; ++i) {
-        double dot = 0.0;
-        for (int j = 0; j < cols; ++j) dot += g.at(i, j) * y.at(i, j);
-        for (int j = 0; j < cols; ++j) {
-          dx.at(i, j) = y.at(i, j) * (g.at(i, j) - static_cast<float>(dot));
+      const float* yd = y.data().data();
+      const float* gd = g.data().data();
+      float* dxd = dx.mutable_data().data();
+      const int64_t row_grain =
+          std::max<int64_t>(1, 2048 / std::max(cols, 1));
+      common::ParallelFor(0, rows, row_grain, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const float* yrow = yd + i * cols;
+          const float* grow = gd + i * cols;
+          float* dxrow = dxd + i * cols;
+          double dot = 0.0;
+          for (int j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
+          for (int j = 0; j < cols; ++j) {
+            dxrow[j] = yrow[j] * (grow[j] - static_cast<float>(dot));
+          }
         }
-      }
+      });
       pa->AccumulateGrad(dx);
     };
   }

@@ -1,0 +1,221 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stgnn::common {
+
+namespace {
+
+// True while the current thread is executing a chunk; nested ParallelFor
+// calls then run inline instead of deadlocking on the shared pool.
+thread_local bool t_in_parallel_region = false;
+
+// One fan-out of chunks over the pool. Heap-held via shared_ptr so a worker
+// that wakes late (after the caller already returned) never touches freed
+// state.
+struct Region {
+  const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t end = 0;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done_chunks{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  uint64_t generation = 0;
+  bool shutdown = false;
+  std::shared_ptr<Region> region;
+
+  // Claims and runs chunks until the region is drained. Returns after
+  // bumping done_chunks for every chunk it executed.
+  void RunChunks(Region* r) {
+    t_in_parallel_region = true;
+    for (;;) {
+      const int64_t c = r->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= r->num_chunks) break;
+      const int64_t chunk_begin = r->begin + c * r->grain;
+      const int64_t chunk_end = std::min(r->end, chunk_begin + r->grain);
+      try {
+        (*r->fn)(c, chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(r->error_mu);
+        if (!r->first_error) r->first_error = std::current_exception();
+      }
+      if (r->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          r->num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv_done.notify_all();
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  void WorkerLoop() {
+    uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Region> r;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_start.wait(lock, [&] {
+          return shutdown || generation != seen_generation;
+        });
+        if (shutdown) return;
+        seen_generation = generation;
+        r = region;
+      }
+      if (r) RunChunks(r.get());
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl), num_threads_(num_threads) {
+  STGNN_CHECK_GE(num_threads, 1);
+  impl_->workers.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_start.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::ParallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial paths: pool of one, a single chunk, or a nested call.
+  if (impl_->workers.empty() || num_chunks == 1 || t_in_parallel_region) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t chunk_begin = begin + c * grain;
+      fn(c, chunk_begin, std::min(end, chunk_begin + grain));
+    }
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->fn = &fn;
+  region->begin = begin;
+  region->grain = grain;
+  region->end = end;
+  region->num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->region = region;
+    ++impl_->generation;
+  }
+  impl_->cv_start.notify_all();
+
+  // The calling thread is a full participant.
+  impl_->RunChunks(region.get());
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->cv_done.wait(lock, [&] {
+      return region->done_chunks.load(std::memory_order_acquire) ==
+             region->num_chunks;
+    });
+    impl_->region.reset();
+  }
+  if (region->first_error) std::rethrow_exception(region->first_error);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](int64_t, int64_t chunk_begin, int64_t chunk_end) {
+                      fn(chunk_begin, chunk_end);
+                    });
+}
+
+// --- Global pool -----------------------------------------------------------
+
+namespace {
+
+int ClampThreads(int n) { return std::clamp(n, 1, 256); }
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("STGNN_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return ClampThreads(parsed);
+  }
+  return HardwareThreads();
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool* GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  return g_pool.get();
+}
+
+int GetNumThreads() { return GlobalThreadPool()->num_threads(); }
+
+void SetNumThreads(int n) {
+  const int target = n <= 0 ? DefaultThreads() : ClampThreads(n);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool && g_pool->num_threads() == target) return;
+  g_pool = std::make_unique<ThreadPool>(target);
+}
+
+namespace internal {
+
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) {
+  GlobalThreadPool()->ParallelFor(begin, end, grain, fn);
+}
+
+void ParallelForChunksImpl(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  GlobalThreadPool()->ParallelForChunks(begin, end, grain, fn);
+}
+
+}  // namespace internal
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  grain = std::max<int64_t>(grain, 1);
+  return (end - begin + grain - 1) / grain;
+}
+
+}  // namespace stgnn::common

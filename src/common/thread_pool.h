@@ -1,0 +1,105 @@
+#ifndef STGNN_COMMON_THREAD_POOL_H_
+#define STGNN_COMMON_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace stgnn::common {
+
+// Fixed-size worker pool for data-parallel kernels.
+//
+// Determinism contract: ParallelFor splits [begin, end) into chunks of
+// `grain` iterations (the last chunk may be short). The decomposition
+// depends only on (begin, end, grain) — never on the thread count — and a
+// chunk is always executed by exactly one thread, so any kernel whose
+// floating-point accumulation order is fixed per chunk (or per output
+// element) produces bit-identical results at every thread count, including
+// the serial num_threads() == 1 path.
+//
+// A pool of size 1 starts no worker threads and runs everything inline on
+// the calling thread with no synchronisation. Calls from inside a running
+// chunk (nested parallelism) also run inline.
+class ThreadPool {
+ public:
+  // Starts num_threads - 1 workers (the calling thread participates as the
+  // remaining lane). num_threads must be >= 1.
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(chunk_begin, chunk_end) over every chunk of [begin, end).
+  // Blocks until all chunks are done. If a chunk throws, the first
+  // exception is rethrown here after the region completes.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Same, but also passes the zero-based chunk index so callers can write
+  // deterministic per-chunk partial results (e.g. reduction slots).
+  void ParallelForChunks(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int64_t chunk, int64_t, int64_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+// --- Global pool -----------------------------------------------------------
+// All tensor/autograd kernels route through these. The pool is created
+// lazily; its initial size comes from the STGNN_NUM_THREADS environment
+// variable, falling back to std::thread::hardware_concurrency().
+
+// Hardware concurrency as reported by the OS (>= 1).
+int HardwareThreads();
+
+// Current global pool size.
+int GetNumThreads();
+
+// Resizes the global pool; n <= 0 restores the environment/hardware
+// default. Must not be called from inside a ParallelFor body.
+void SetNumThreads(int n);
+
+ThreadPool* GlobalThreadPool();
+
+namespace internal {
+void ParallelForImpl(int64_t begin, int64_t end, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn);
+void ParallelForChunksImpl(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t chunk, int64_t, int64_t)>& fn);
+}  // namespace internal
+
+// Convenience wrappers over the global pool. Ranges not exceeding `grain`
+// run inline without touching the pool (and without type-erasing the
+// functor), so small tensors pay nothing for the parallel substrate.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (end - begin <= (grain < 1 ? int64_t{1} : grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal::ParallelForImpl(begin, end, grain, fn);
+}
+
+template <typename Fn>
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  if (end - begin <= (grain < 1 ? int64_t{1} : grain)) {
+    fn(0, begin, end);
+    return;
+  }
+  internal::ParallelForChunksImpl(begin, end, grain, fn);
+}
+
+// Number of chunks ParallelFor will use for the given range: the number of
+// deterministic reduction slots a chunked reduction needs.
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
+
+}  // namespace stgnn::common
+
+#endif  // STGNN_COMMON_THREAD_POOL_H_

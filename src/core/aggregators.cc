@@ -1,7 +1,9 @@
 #include "core/aggregators.h"
 
+#include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "nn/init.h"
 
 namespace stgnn::core {
@@ -23,21 +25,32 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
   Tensor out({n, f});
   // argmax(i, f): which neighbour supplied the max; -1 = empty row.
   std::vector<int> argmax(static_cast<size_t>(n) * f, -1);
-  for (int i = 0; i < n; ++i) {
-    for (int c = 0; c < f; ++c) {
-      float best = -std::numeric_limits<float>::infinity();
-      int best_j = -1;
-      for (int j = 0; j < n; ++j) {
-        if (mask.at(i, j) == 0.0f) continue;
-        const float v = h.value().at(j, c);
-        if (v > best) {
-          best = v;
-          best_j = j;
+  {
+    const float* hv = h.value().data().data();
+    const float* mv = mask.data().data();
+    float* ov = out.mutable_data().data();
+    int* am = argmax.data();
+    // Rows of the output are independent; fan them out across the pool.
+    const int64_t grain = std::max<int64_t>(1, 2048 / std::max(n * f, 1));
+    common::ParallelFor(0, n, grain, [&](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        const float* mask_row = mv + i * n;
+        for (int c = 0; c < f; ++c) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_j = -1;
+          for (int j = 0; j < n; ++j) {
+            if (mask_row[j] == 0.0f) continue;
+            const float v = hv[static_cast<size_t>(j) * f + c];
+            if (v > best) {
+              best = v;
+              best_j = j;
+            }
+          }
+          ov[i * f + c] = best_j >= 0 ? best : 0.0f;
+          am[i * f + c] = best_j;
         }
       }
-      out.at(i, c) = best_j >= 0 ? best : 0.0f;
-      argmax[static_cast<size_t>(i) * f + c] = best_j;
-    }
+    });
   }
 
   auto node = std::make_shared<Node>();
@@ -49,12 +62,23 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
     Node* parent = h.node().get();
     node->backward_fn = [self, parent, argmax = std::move(argmax), n, f]() {
       Tensor grad = Tensor::Zeros(parent->value.shape());
-      for (int i = 0; i < n; ++i) {
-        for (int c = 0; c < f; ++c) {
-          const int j = argmax[static_cast<size_t>(i) * f + c];
-          if (j >= 0) grad.at(j, c) += self->grad.at(i, c);
+      const float* gv = self->grad.data().data();
+      float* out_grad = grad.mutable_data().data();
+      const int* am = argmax.data();
+      // The scatter grad(j, c) += g(i, c) races across rows i but never
+      // across feature columns, so parallelise over c: each column is
+      // owned by one chunk and keeps the serial i-ascending order.
+      const int64_t grain = std::max<int64_t>(1, 2048 / std::max(n, 1));
+      common::ParallelFor(0, f, grain, [&](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          for (int i = 0; i < n; ++i) {
+            const int j = am[static_cast<size_t>(i) * f + c];
+            if (j >= 0) {
+              out_grad[static_cast<size_t>(j) * f + c] += gv[i * f + c];
+            }
+          }
         }
-      }
+      });
       parent->AccumulateGrad(grad);
     };
   }
@@ -94,12 +118,17 @@ Variable MeanGnnLayer::Forward(const Variable& features,
   // Row-normalised mask = elementwise mean over the neighbour set.
   const int n = edge_mask.dim(0);
   Tensor mean_weights = edge_mask;
-  for (int i = 0; i < n; ++i) {
-    float degree = 0.0f;
-    for (int j = 0; j < n; ++j) degree += mean_weights.at(i, j);
-    if (degree == 0.0f) continue;
-    for (int j = 0; j < n; ++j) mean_weights.at(i, j) /= degree;
-  }
+  float* mw = mean_weights.mutable_data().data();
+  common::ParallelFor(0, n, std::max<int64_t>(1, 2048 / std::max(n, 1)),
+                      [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      float* row = mw + i * n;
+      float degree = 0.0f;
+      for (int j = 0; j < n; ++j) degree += row[j];
+      if (degree == 0.0f) continue;
+      for (int j = 0; j < n; ++j) row[j] /= degree;
+    }
+  });
   Variable aggregated =
       ag::MatMul(Variable::Constant(std::move(mean_weights)), features);
   return ag::Relu(ag::MatMul(aggregated, weight_));

@@ -48,6 +48,10 @@ struct StgnnConfig {
   float input_scale_multiplier = 1.0f;
   uint64_t seed = 1;
   bool verbose = false;
+  // Kernel thread count applied when Train/Predict runs (via
+  // common::SetNumThreads). 0 keeps the global default (STGNN_NUM_THREADS
+  // env var, else hardware concurrency); 1 forces the fully serial path.
+  int num_threads = 0;
   // Prediction horizon in slots. 1 reproduces the paper's setting; larger
   // values implement the multi-step extension sketched in the paper's
   // future work (Section IX): the output layer emits

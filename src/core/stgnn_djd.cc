@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "data/window.h"
 #include "nn/init.h"
 #include "nn/loss.h"
@@ -231,6 +232,7 @@ data::StHistory StgnnDjdPredictor::HistoryAt(const data::FlowDataset& flow,
 }
 
 void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
+  if (config_.num_threads > 0) common::SetNumThreads(config_.num_threads);
   common::Rng rng(config_.seed);
   dropout_rng_ = std::make_unique<common::Rng>(rng.NextUint64());
   model_ = std::make_unique<StgnnDjdModel>(flow.num_stations, config_, &rng);

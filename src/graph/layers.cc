@@ -1,5 +1,6 @@
 #include "graph/layers.h"
 
+#include "common/thread_pool.h"
 #include "nn/init.h"
 
 namespace stgnn::graph {
@@ -43,9 +44,20 @@ Variable GatLayer::Forward(const Variable& h,
   Variable scores_src = ag::MatMul(projected, a_src_);           // [n, 1]
   Variable scores_dst = ag::Transpose(ag::MatMul(projected, a_dst_));  // [1, n]
   Variable e = ag::Elu(ag::Add(scores_src, scores_dst));  // [n, n]
-  // Mask non-edges with a large negative value so softmax ignores them.
-  Variable neg_inf_mask = Variable::Constant(tensor::MulScalar(
-      tensor::AddScalar(edge_mask.value(), -1.0f), 1e9f));  // 0 on edges
+  // Mask non-edges with a large negative value so softmax ignores them;
+  // fused into one parallel pass instead of two temporary tensors.
+  tensor::Tensor neg_inf(edge_mask.value().shape());
+  {
+    const float* mask = edge_mask.value().data().data();
+    float* out = neg_inf.mutable_data().data();
+    common::ParallelFor(0, neg_inf.size(), 16384,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[i] = (mask[i] - 1.0f) * 1e9f;  // 0 on edges
+                          }
+                        });
+  }
+  Variable neg_inf_mask = Variable::Constant(std::move(neg_inf));
   Variable attention = ag::RowSoftmax(ag::Add(e, neg_inf_mask));
   last_attention_ = attention.value();
   (void)n;

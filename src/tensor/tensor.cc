@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/thread_pool.h"
+
 namespace stgnn::tensor {
 
 namespace {
@@ -17,6 +19,16 @@ std::vector<int64_t> ComputeStrides(const Shape& shape) {
     strides[i] = strides[i + 1] * shape[i + 1];
   }
   return strides;
+}
+
+// Minimum elements per parallel chunk for elementwise kernels; anything
+// smaller runs inline (no std::function, no pool) so tiny tensors pay
+// nothing for the parallel substrate.
+constexpr int64_t kElementGrain = 16384;
+
+// Rows per chunk targeting roughly kElementGrain elements of work.
+inline int64_t RowGrain(int64_t cols, int64_t target = kElementGrain) {
+  return std::max<int64_t>(1, target / std::max<int64_t>(cols, 1));
 }
 
 }  // namespace
@@ -192,11 +204,17 @@ Tensor Tensor::Transpose() const {
   const int rows = shape_[0];
   const int cols = shape_[1];
   Tensor out({cols, rows});
-  for (int i = 0; i < rows; ++i) {
-    for (int j = 0; j < cols; ++j) {
-      out.at(j, i) = at(i, j);
+  const float* src = data_.data();
+  float* dst = out.mutable_data().data();
+  // Parallel over output rows; each output row j gathers column j of the
+  // source, so writes never overlap across chunks.
+  common::ParallelFor(0, cols, RowGrain(rows), [&](int64_t jb, int64_t je) {
+    for (int64_t j = jb; j < je; ++j) {
+      for (int64_t i = 0; i < rows; ++i) {
+        dst[j * rows + i] = src[i * cols + j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -279,10 +297,15 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
     Tensor out(a.shape());
-    const auto& da = a.data();
-    const auto& db = b.data();
-    auto& dout = out.mutable_data();
-    for (size_t i = 0; i < dout.size(); ++i) dout[i] = fn(da[i], db[i]);
+    const float* da = a.data().data();
+    const float* db = b.data().data();
+    float* dout = out.mutable_data().data();
+    common::ParallelFor(0, out.size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            dout[i] = fn(da[i], db[i]);
+                          }
+                        });
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
@@ -325,9 +348,12 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
 template <typename Fn>
 Tensor UnaryMap(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
-  const auto& da = a.data();
-  auto& dout = out.mutable_data();
-  for (size_t i = 0; i < dout.size(); ++i) dout[i] = fn(da[i]);
+  const float* da = a.data().data();
+  float* dout = out.mutable_data().data();
+  common::ParallelFor(0, out.size(), kElementGrain,
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) dout[i] = fn(da[i]);
+                      });
   return out;
 }
 
@@ -396,6 +422,82 @@ Tensor MulScalar(const Tensor& a, float s) {
   return UnaryMap(a, [s](float x) { return x * s; });
 }
 
+namespace {
+
+// Tiling parameters for the packed MatMul: the microkernel computes a
+// kMmRowTile x kMmPanel output tile from kMmPanel-wide packed panels of B,
+// and rows are fanned out across the thread pool. The per-element
+// accumulation order (p ascending over the full k) is identical in every
+// path, so results are bit-stable across thread counts.
+constexpr int kMmRowTile = 4;
+constexpr int kMmPanel = 64;
+// Below this m*k*n the branch-free ikj loop wins (packing overhead).
+constexpr int64_t kMmSmallFlops = int64_t{48} * 48 * 48;
+
+// Plain ikj kernel for small products. Deliberately branch-free in the
+// inner loops: the former `if (aval == 0.0f) continue;` sparse skip cost
+// more in branch mispredictions on dense inputs than it saved; callers
+// with genuinely sparse operands should pre-scan rows instead.
+void MatMulSmall(const float* pa, const float* pb, float* po, int m, int k,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    float* orow = po + static_cast<size_t>(i) * n;
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float aval = arow[p];
+      const float* brow = pb + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+}
+
+// Computes rows [ib, ie) against panel `q` of packed B (width w columns
+// starting at j0), accumulating the full k extent before storing.
+void MatMulPanelRows(const float* pa, const float* panel, float* po,
+                     int64_t ib, int64_t ie, int k, int n, int j0, int w) {
+  for (int64_t i0 = ib; i0 < ie; i0 += kMmRowTile) {
+    const int rows = static_cast<int>(std::min<int64_t>(kMmRowTile, ie - i0));
+    float acc[kMmRowTile][kMmPanel];
+    for (int r = 0; r < rows; ++r) {
+      std::fill(acc[r], acc[r] + w, 0.0f);
+    }
+    if (rows == kMmRowTile && w == kMmPanel) {
+      // Register-blocked hot tile: 4 rows share every load of the packed
+      // panel row, and the constant trip count vectorises cleanly.
+      const float* a0 = pa + (i0 + 0) * k;
+      const float* a1 = pa + (i0 + 1) * k;
+      const float* a2 = pa + (i0 + 2) * k;
+      const float* a3 = pa + (i0 + 3) * k;
+      for (int p = 0; p < k; ++p) {
+        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
+        const float v0 = a0[p];
+        const float v1 = a1[p];
+        const float v2 = a2[p];
+        const float v3 = a3[p];
+        for (int j = 0; j < kMmPanel; ++j) {
+          acc[0][j] += v0 * bp[j];
+          acc[1][j] += v1 * bp[j];
+          acc[2][j] += v2 * bp[j];
+          acc[3][j] += v3 * bp[j];
+        }
+      }
+    } else {
+      for (int p = 0; p < k; ++p) {
+        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
+        for (int r = 0; r < rows; ++r) {
+          const float v = pa[(i0 + r) * k + p];
+          for (int j = 0; j < w; ++j) acc[r][j] += v * bp[j];
+        }
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::copy(acc[r], acc[r] + w, po + (i0 + r) * n + j0);
+    }
+  }
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   STGNN_CHECK_EQ(a.ndim(), 2);
   STGNN_CHECK_EQ(b.ndim(), 2);
@@ -406,25 +508,71 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int k = a.dim(1);
   const int n = b.dim(1);
   Tensor out({m, n});
+  if (m == 0 || k == 0 || n == 0) return out;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* po = out.mutable_data().data();
-  // ikj loop order keeps the inner loop contiguous over b and out.
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float aval = pa[static_cast<size_t>(i) * k + p];
-      if (aval == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(p) * n;
-      float* orow = po + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
-    }
+  if (static_cast<int64_t>(m) * k * n <= kMmSmallFlops) {
+    MatMulSmall(pa, pb, po, m, k, n);
+    return out;
   }
+
+  // Pack B into kMmPanel-wide column panels, each row-major with a fixed
+  // kMmPanel stride (the last panel is zero-padded). The packed layout
+  // keeps the microkernel's streams contiguous regardless of n.
+  const int num_panels = (n + kMmPanel - 1) / kMmPanel;
+  std::vector<float> packed(
+      static_cast<size_t>(num_panels) * k * kMmPanel, 0.0f);
+  common::ParallelFor(0, num_panels, 1, [&](int64_t qb, int64_t qe) {
+    for (int64_t q = qb; q < qe; ++q) {
+      const int j0 = static_cast<int>(q) * kMmPanel;
+      const int w = std::min(kMmPanel, n - j0);
+      float* dst = packed.data() + static_cast<size_t>(q) * k * kMmPanel;
+      for (int p = 0; p < k; ++p) {
+        const float* src = pb + static_cast<size_t>(p) * n + j0;
+        std::copy(src, src + w, dst + static_cast<size_t>(p) * kMmPanel);
+      }
+    }
+  });
+
+  // Fan rows out across the pool; aim for >= ~256k flops per chunk so the
+  // dispatch cost stays negligible.
+  const int64_t row_flops = int64_t{2} * k * n;
+  const int64_t grain = std::max<int64_t>(
+      kMmRowTile, (int64_t{1} << 18) / std::max<int64_t>(row_flops, 1));
+  common::ParallelFor(0, m, grain, [&](int64_t ib, int64_t ie) {
+    for (int q = 0; q < num_panels; ++q) {
+      const int j0 = q * kMmPanel;
+      const int w = std::min(kMmPanel, n - j0);
+      const float* panel =
+          packed.data() + static_cast<size_t>(q) * k * kMmPanel;
+      MatMulPanelRows(pa, panel, po, ib, ie, k, n, j0, w);
+    }
+  });
   return out;
 }
 
 Tensor SumAll(const Tensor& a) {
+  const float* d = a.data().data();
+  const int64_t n = a.size();
+  // Per-chunk partial sums, combined in chunk order. The chunk
+  // decomposition depends only on (n, grain), so the result is bit-stable
+  // across thread counts; single-chunk inputs follow the plain serial sum.
+  const int64_t chunks = common::NumChunks(0, n, kElementGrain);
+  if (chunks <= 1) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) total += d[i];
+    return Tensor::Scalar(static_cast<float>(total));
+  }
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  common::ParallelForChunks(0, n, kElementGrain,
+                            [&](int64_t c, int64_t lo, int64_t hi) {
+                              double s = 0.0;
+                              for (int64_t i = lo; i < hi; ++i) s += d[i];
+                              partial[static_cast<size_t>(c)] = s;
+                            });
   double total = 0.0;
-  for (float v : a.data()) total += v;
+  for (double p : partial) total += p;
   return Tensor::Scalar(static_cast<float>(total));
 }
 
@@ -433,14 +581,38 @@ Tensor MeanAll(const Tensor& a) {
   return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.size()));
 }
 
-float MaxAll(const Tensor& a) {
+namespace {
+
+template <typename Cmp>
+float ExtremeAll(const Tensor& a, float init, Cmp pick) {
   STGNN_CHECK_GT(a.size(), 0);
-  return *std::max_element(a.data().begin(), a.data().end());
+  const float* d = a.data().data();
+  const int64_t n = a.size();
+  const int64_t chunks = common::NumChunks(0, n, kElementGrain);
+  std::vector<float> partial(static_cast<size_t>(chunks), init);
+  common::ParallelForChunks(0, n, kElementGrain,
+                            [&](int64_t c, int64_t lo, int64_t hi) {
+                              float best = init;
+                              for (int64_t i = lo; i < hi; ++i) {
+                                best = pick(best, d[i]);
+                              }
+                              partial[static_cast<size_t>(c)] = best;
+                            });
+  float best = init;
+  for (float p : partial) best = pick(best, p);
+  return best;
+}
+
+}  // namespace
+
+float MaxAll(const Tensor& a) {
+  return ExtremeAll(a, -std::numeric_limits<float>::infinity(),
+                    [](float x, float y) { return std::max(x, y); });
 }
 
 float MinAll(const Tensor& a) {
-  STGNN_CHECK_GT(a.size(), 0);
-  return *std::min_element(a.data().begin(), a.data().end());
+  return ExtremeAll(a, std::numeric_limits<float>::infinity(),
+                    [](float x, float y) { return std::min(x, y); });
 }
 
 namespace {
@@ -454,11 +626,27 @@ Tensor ReduceAxis2d(const Tensor& a, int axis, bool keepdims, Init init,
   const int cols = a.dim(1);
   const int out_len = axis == 0 ? cols : rows;
   std::vector<float> out(static_cast<size_t>(out_len), init());
-  for (int i = 0; i < rows; ++i) {
-    for (int j = 0; j < cols; ++j) {
-      float& slot = out[static_cast<size_t>(axis == 0 ? j : i)];
-      slot = accum(slot, a.at(i, j));
-    }
+  const float* d = a.data().data();
+  // Each output slot is owned by exactly one chunk, and its accumulation
+  // order (ascending over the reduced axis) never depends on the thread
+  // count.
+  if (axis == 1) {
+    common::ParallelFor(0, rows, RowGrain(cols), [&](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        float slot = init();
+        const float* row = d + i * cols;
+        for (int j = 0; j < cols; ++j) slot = accum(slot, row[j]);
+        out[static_cast<size_t>(i)] = slot;
+      }
+    });
+  } else {
+    common::ParallelFor(0, cols, RowGrain(rows), [&](int64_t jb, int64_t je) {
+      for (int64_t j = jb; j < je; ++j) {
+        float slot = init();
+        for (int64_t i = 0; i < rows; ++i) slot = accum(slot, d[i * cols + j]);
+        out[static_cast<size_t>(j)] = slot;
+      }
+    });
   }
   Shape shape;
   if (keepdims) {
@@ -496,19 +684,26 @@ Tensor RowSoftmax(const Tensor& a) {
   const int cols = a.dim(1);
   STGNN_CHECK_GT(cols, 0);
   Tensor out(a.shape());
-  for (int i = 0; i < rows; ++i) {
-    float row_max = -std::numeric_limits<float>::infinity();
-    for (int j = 0; j < cols; ++j) row_max = std::max(row_max, a.at(i, j));
-    double denom = 0.0;
-    for (int j = 0; j < cols; ++j) {
-      const float e = std::exp(a.at(i, j) - row_max);
-      out.at(i, j) = e;
-      denom += e;
+  const float* src = a.data().data();
+  float* dst = out.mutable_data().data();
+  common::ParallelFor(0, rows, RowGrain(cols, 2048),
+                      [&](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      const float* in_row = src + i * cols;
+      float* out_row = dst + i * cols;
+      float row_max = -std::numeric_limits<float>::infinity();
+      for (int j = 0; j < cols; ++j) row_max = std::max(row_max, in_row[j]);
+      double denom = 0.0;
+      for (int j = 0; j < cols; ++j) {
+        const float e = std::exp(in_row[j] - row_max);
+        out_row[j] = e;
+        denom += e;
+      }
+      for (int j = 0; j < cols; ++j) {
+        out_row[j] = static_cast<float>(out_row[j] / denom);
+      }
     }
-    for (int j = 0; j < cols; ++j) {
-      out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
-    }
-  }
+  });
   return out;
 }
 

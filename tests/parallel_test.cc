@@ -1,0 +1,235 @@
+// Parity tests for the parallel kernel substrate: every parallelised kernel
+// must produce bit-identical results at every thread count (the chunk
+// decomposition and per-element accumulation order never depend on the pool
+// size), plus gradchecks over the parallelised aggregators.
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/aggregators.h"
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace stgnn {
+namespace {
+
+using autograd::Variable;
+namespace ag = stgnn::autograd;
+using tensor::Tensor;
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+// Restores the ambient pool size when a test ends.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(common::GetNumThreads()) {}
+  ~ThreadGuard() { common::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+// Runs `fn` at 1/2/7 threads and asserts all results are bit-identical to
+// the serial one.
+void ExpectThreadCountInvariant(const std::function<Tensor()>& fn) {
+  ThreadGuard guard;
+  common::SetNumThreads(1);
+  const Tensor serial = fn();
+  for (int threads : kThreadCounts) {
+    common::SetNumThreads(threads);
+    const Tensor parallel = fn();
+    EXPECT_TRUE(BitIdentical(serial, parallel))
+        << "kernel diverges at " << threads << " threads";
+  }
+}
+
+TEST(ParallelParityTest, MatMulOddSizes) {
+  common::Rng rng(11);
+  // Odd shapes straddle the row-tile and panel boundaries; the big ones
+  // exercise the packed path, the small ones the plain path.
+  const int shapes[][3] = {{1, 1, 1},   {3, 5, 2},    {17, 23, 9},
+                           {33, 65, 17}, {64, 64, 64}, {129, 67, 255},
+                           {256, 128, 96}};
+  for (const auto& s : shapes) {
+    const Tensor a = Tensor::RandomNormal({s[0], s[1]}, 0, 1, &rng);
+    const Tensor b = Tensor::RandomNormal({s[1], s[2]}, 0, 1, &rng);
+    ExpectThreadCountInvariant([&] { return tensor::MatMul(a, b); });
+  }
+}
+
+TEST(ParallelParityTest, MatMulEmptyAndDegenerate) {
+  ExpectThreadCountInvariant([] {
+    return tensor::MatMul(Tensor::Zeros({0, 5}), Tensor::Zeros({5, 3}));
+  });
+  ExpectThreadCountInvariant([] {
+    return tensor::MatMul(Tensor::Zeros({4, 0}), Tensor::Zeros({0, 3}));
+  });
+  ExpectThreadCountInvariant([] {
+    return tensor::MatMul(Tensor::Zeros({3, 5}), Tensor::Zeros({5, 0}));
+  });
+  // k = 0 must still yield exact zeros.
+  const Tensor z = tensor::MatMul(Tensor::Zeros({4, 0}), Tensor::Zeros({0, 3}));
+  EXPECT_TRUE(z.AllClose(Tensor::Zeros({4, 3}), 0.0f));
+}
+
+TEST(ParallelParityTest, MatMulMatchesNaiveReference) {
+  common::Rng rng(12);
+  const int m = 71, k = 93, n = 129;
+  const Tensor a = Tensor::RandomNormal({m, k}, 0, 1, &rng);
+  const Tensor b = Tensor::RandomNormal({k, n}, 0, 1, &rng);
+  const Tensor got = tensor::MatMul(a, b);
+  Tensor want({m, n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+      want.at(i, j) = acc;
+    }
+  }
+  EXPECT_TRUE(got.AllClose(want, 1e-3f));
+}
+
+TEST(ParallelParityTest, ElementwiseKernels) {
+  common::Rng rng(13);
+  for (const tensor::Shape& shape :
+       {tensor::Shape{1, 1}, tensor::Shape{17, 23}, tensor::Shape{300, 301}}) {
+    const Tensor a = Tensor::RandomNormal(shape, 0, 1, &rng);
+    const Tensor b = Tensor::RandomNormal(shape, 0, 1, &rng);
+    ExpectThreadCountInvariant([&] { return tensor::Add(a, b); });
+    ExpectThreadCountInvariant([&] { return tensor::Mul(a, b); });
+    ExpectThreadCountInvariant([&] { return tensor::Maximum(a, b); });
+    ExpectThreadCountInvariant([&] { return tensor::Exp(a); });
+    ExpectThreadCountInvariant([&] { return tensor::Relu(a); });
+    ExpectThreadCountInvariant([&] { return tensor::Sigmoid(a); });
+    ExpectThreadCountInvariant([&] { return a.Transpose(); });
+  }
+  const Tensor empty({0});
+  ExpectThreadCountInvariant([&] { return tensor::Neg(empty); });
+}
+
+TEST(ParallelParityTest, ReductionsAndSoftmax) {
+  common::Rng rng(14);
+  for (const tensor::Shape& shape :
+       {tensor::Shape{1, 1}, tensor::Shape{7, 351}, tensor::Shape{351, 7},
+        tensor::Shape{129, 200}}) {
+    const Tensor a = Tensor::RandomNormal(shape, 0, 1, &rng);
+    ExpectThreadCountInvariant([&] { return tensor::RowSoftmax(a); });
+    for (int axis : {0, 1}) {
+      ExpectThreadCountInvariant([&] { return tensor::SumAxis(a, axis); });
+      ExpectThreadCountInvariant([&] { return tensor::MeanAxis(a, axis); });
+      ExpectThreadCountInvariant([&] { return tensor::MaxAxis(a, axis); });
+    }
+    ExpectThreadCountInvariant([&] { return tensor::SumAll(a); });
+    ExpectThreadCountInvariant(
+        [&] { return Tensor::Scalar(tensor::MaxAll(a)); });
+    ExpectThreadCountInvariant(
+        [&] { return Tensor::Scalar(tensor::MinAll(a)); });
+  }
+  // Large flat tensor: the chunked SumAll must agree with itself across
+  // thread counts (the decomposition is thread-count independent).
+  const Tensor big = Tensor::RandomNormal({100000}, 0, 1, &rng);
+  ExpectThreadCountInvariant([&] { return tensor::SumAll(big); });
+}
+
+TEST(ParallelParityTest, MaskedNeighborMaxForwardAndBackward) {
+  common::Rng rng(15);
+  const int n = 37, f = 19;
+  const Tensor h = Tensor::RandomNormal({n, f}, 0, 1, &rng);
+  Tensor mask = Tensor::Zeros({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      mask.at(i, j) = ((i * 7 + j) % 3 == 0) ? 1.0f : 0.0f;
+    }
+  }
+  ExpectThreadCountInvariant([&] {
+    return core::MaskedNeighborMax(Variable::Constant(h), mask).value();
+  });
+  // Backward scatter parity.
+  ExpectThreadCountInvariant([&] {
+    Variable hv = Variable::Parameter(h);
+    Variable loss = ag::SumAll(core::MaskedNeighborMax(hv, mask));
+    loss.Backward();
+    return hv.grad();
+  });
+}
+
+TEST(ParallelParityTest, SoftmaxBackward) {
+  common::Rng rng(16);
+  const Tensor x = Tensor::RandomNormal({41, 53}, 0, 1, &rng);
+  const Tensor w = Tensor::RandomNormal({41, 53}, 0, 1, &rng);
+  ExpectThreadCountInvariant([&] {
+    Variable xv = Variable::Parameter(x);
+    Variable loss =
+        ag::SumAll(ag::Mul(ag::RowSoftmax(xv), Variable::Constant(w)));
+    loss.Backward();
+    return xv.grad();
+  });
+}
+
+TEST(ParallelGradcheckTest, MaskedNeighborMaxGradients) {
+  ThreadGuard guard;
+  common::Rng rng(17);
+  const int n = 6, f = 4;
+  Tensor mask = Tensor::Zeros({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      mask.at(i, j) = ((i + j) % 2 == 0) ? 1.0f : 0.0f;
+    }
+  }
+  for (int threads : kThreadCounts) {
+    common::SetNumThreads(threads);
+    testing::ExpectGradientsClose(
+        [&mask](const std::vector<Variable>& inputs) {
+          return ag::MeanAll(
+              ag::Square(core::MaskedNeighborMax(inputs[0], mask)));
+        },
+        {Tensor::RandomNormal({n, f}, 0, 1, &rng)});
+  }
+}
+
+TEST(ParallelGradcheckTest, AttentionAggregatorGradients) {
+  ThreadGuard guard;
+  common::Rng rng(18);
+  const int n = 5;
+  core::AttentionGnnLayer layer(n, 2, &rng);
+  for (int threads : kThreadCounts) {
+    common::SetNumThreads(threads);
+    testing::ExpectGradientsClose(
+        [&layer](const std::vector<Variable>& inputs) {
+          return ag::MeanAll(ag::Square(layer.Forward(inputs[0])));
+        },
+        {Tensor::RandomNormal({n, n}, 0, 0.5f, &rng)});
+  }
+}
+
+TEST(ParallelGradcheckTest, FlowAggregatorGradients) {
+  ThreadGuard guard;
+  common::Rng rng(19);
+  const int n = 5;
+  core::FlowGnnLayer layer(n, &rng);
+  for (int threads : kThreadCounts) {
+    common::SetNumThreads(threads);
+    testing::ExpectGradientsClose(
+        [&layer](const std::vector<Variable>& inputs) {
+          return ag::MeanAll(
+              ag::Square(layer.Forward(inputs[0], inputs[1])));
+        },
+        {Tensor::RandomNormal({n, n}, 0, 0.5f, &rng),
+         Tensor::RandomUniform({n, n}, 0, 1, &rng)});
+  }
+}
+
+}  // namespace
+}  // namespace stgnn

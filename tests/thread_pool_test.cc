@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stgnn::common {
+namespace {
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReuseAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int call = 0; call < 200; ++call) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 128, 8, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 128 * 127 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 5, 1000, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverCalls) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, 3, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(5, 2, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ChunkDecompositionIndependentOfThreadCount) {
+  // The (index, begin, end) triples must be identical for any pool size;
+  // this is what makes chunked reductions bit-stable.
+  auto collect = [](int num_threads) {
+    ThreadPool pool(num_threads);
+    std::vector<std::vector<int64_t>> chunks(
+        static_cast<size_t>(NumChunks(3, 250, 9)));
+    pool.ParallelForChunks(3, 250, 9,
+                           [&](int64_t c, int64_t lo, int64_t hi) {
+                             chunks[static_cast<size_t>(c)] = {lo, hi};
+                           });
+    return chunks;
+  };
+  const auto serial = collect(1);
+  EXPECT_EQ(serial, collect(2));
+  EXPECT_EQ(serial, collect(7));
+  EXPECT_EQ(serial.front(), (std::vector<int64_t>{3, 12}));
+  EXPECT_EQ(serial.back(), (std::vector<int64_t>{246, 250}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t lo, int64_t) {
+                         if (lo == 42) throw std::runtime_error("chunk 42");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1,
+                   [&](int64_t lo, int64_t) { sum.fetch_add(lo); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    // Nested call must not deadlock on the shared workers.
+    pool.ParallelFor(0, 16, 1, [&](int64_t lo, int64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResize) {
+  const int initial = GetNumThreads();
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  EXPECT_EQ(GlobalThreadPool()->num_threads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(0);  // back to the environment/hardware default
+  EXPECT_GE(GetNumThreads(), 1);
+  SetNumThreads(initial);
+}
+
+TEST(ThreadPoolTest, NumChunksMatchesDecomposition) {
+  EXPECT_EQ(NumChunks(0, 0, 4), 0);
+  EXPECT_EQ(NumChunks(0, 1, 4), 1);
+  EXPECT_EQ(NumChunks(0, 8, 4), 2);
+  EXPECT_EQ(NumChunks(0, 9, 4), 3);
+  EXPECT_EQ(NumChunks(5, 9, 0), 4);  // grain clamps to 1
+}
+
+}  // namespace
+}  // namespace stgnn::common
