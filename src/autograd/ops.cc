@@ -4,7 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "common/counters.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace stgnn::autograd {
 
@@ -39,6 +41,7 @@ namespace {
 std::shared_ptr<Node> MakeNode(Tensor value,
                                const std::vector<Variable>& parents) {
   auto node = std::make_shared<Node>();
+  STGNN_COUNTER_INC("autograd.nodes");
   node->value = std::move(value);
   for (const auto& p : parents) {
     STGNN_CHECK(p.defined()) << "op input is an undefined Variable";
@@ -237,6 +240,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
     Node* pa = a.node().get();
     Node* pb = b.node().get();
     node->backward_fn = [self, pa, pb]() {
+      STGNN_TRACE_SCOPE("MatMul.bwd");
       if (pa->requires_grad) {
         pa->AccumulateGrad(
             tensor::MatMul(self->grad, pb->value.Transpose()));
@@ -368,6 +372,7 @@ Variable RowSoftmax(const Variable& a) {
     Node* self = node.get();
     Node* pa = a.node().get();
     node->backward_fn = [self, pa]() {
+      STGNN_TRACE_SCOPE("RowSoftmax.bwd");
       // dL/dx_ij = y_ij * (g_ij - sum_k g_ik y_ik).
       const Tensor& y = self->value;
       const Tensor& g = self->grad;

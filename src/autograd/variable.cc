@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "common/counters.h"
+#include "common/trace.h"
+
 namespace stgnn::autograd {
 
 using tensor::Shape;
@@ -138,6 +141,8 @@ void Variable::Backward() const {
   STGNN_CHECK(defined());
   STGNN_CHECK(node_->requires_grad)
       << "Backward() on a variable that does not require grad";
+  STGNN_TRACE_SCOPE("Backward");
+  STGNN_COUNTER_INC("autograd.backwards");
   node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
   std::vector<std::shared_ptr<Node>> order;
   TopoSort(node_, &order);

@@ -1,0 +1,66 @@
+#include "common/counters.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace stgnn::common::counters {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map nodes are stable, so Counter* handed out by FindOrCreate
+  // survive later insertions.
+  std::map<std::string, Counter> counters;
+};
+
+// Leaked: worker threads of the (also leaked) global thread pool may bump
+// counters while static destructors run.
+Registry* GlobalRegistry() {
+  static Registry* r = new Registry();
+  return r;
+}
+
+}  // namespace
+
+Counter* FindOrCreate(const std::string& name) {
+  Registry* r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r->mu);
+  return &r->counters[name];
+}
+
+std::vector<std::pair<std::string, int64_t>> Snapshot() {
+  Registry* r = GlobalRegistry();
+  std::vector<std::pair<std::string, int64_t>> out;
+  std::lock_guard<std::mutex> lock(r->mu);
+  out.reserve(r->counters.size());
+  for (const auto& [name, counter] : r->counters) {
+    out.emplace_back(name, counter.value());
+  }
+  return out;
+}
+
+void ResetAll() {
+  Registry* r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r->mu);
+  for (auto& [name, counter] : r->counters) counter.Reset();
+}
+
+std::string Format() {
+  std::ostringstream os;
+  size_t width = 0;
+  const auto snapshot = Snapshot();
+  for (const auto& [name, value] : snapshot) {
+    if (value != 0) width = std::max(width, name.size());
+  }
+  for (const auto& [name, value] : snapshot) {
+    if (value == 0) continue;
+    os << name;
+    for (size_t i = name.size(); i < width; ++i) os << ' ';
+    os << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace stgnn::common::counters

@@ -1,0 +1,62 @@
+#ifndef STGNN_COMMON_COUNTERS_H_
+#define STGNN_COMMON_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stgnn::common::counters {
+
+// Process-wide named monotonic counters (flops, bytes moved, pool chunk
+// dispatch, op invocation counts, allocator churn, ...).
+//
+// A Counter is a single relaxed atomic; FindOrCreate returns a stable
+// pointer that is valid for the life of the process (the registry and its
+// counters are intentionally leaked so pool worker threads may bump them
+// during static destruction). The STGNN_COUNTER_* macros cache that pointer
+// in a function-local static, so steady-state cost is one relaxed
+// fetch_add; they compile out entirely when STGNN_TRACING_ENABLED is not
+// defined (CMake option STGNN_ENABLE_TRACING=OFF).
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Returns the counter registered under `name`, creating it on first use.
+// Thread-safe; the returned pointer never dangles.
+Counter* FindOrCreate(const std::string& name);
+
+// All registered counters and their current values, sorted by name.
+std::vector<std::pair<std::string, int64_t>> Snapshot();
+
+// Zeroes every registered counter (registrations are kept).
+void ResetAll();
+
+// Human-readable "name = value" table of all non-zero counters.
+std::string Format();
+
+}  // namespace stgnn::common::counters
+
+#if defined(STGNN_TRACING_ENABLED)
+#define STGNN_COUNTER_ADD(name, delta)                                   \
+  do {                                                                   \
+    static ::stgnn::common::counters::Counter* stgnn_counter_cached_ =   \
+        ::stgnn::common::counters::FindOrCreate(name);                   \
+    stgnn_counter_cached_->Add(static_cast<int64_t>(delta));             \
+  } while (0)
+#else
+#define STGNN_COUNTER_ADD(name, delta) ((void)0)
+#endif
+
+#define STGNN_COUNTER_INC(name) STGNN_COUNTER_ADD(name, 1)
+
+#endif  // STGNN_COMMON_COUNTERS_H_

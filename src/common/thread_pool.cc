@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/counters.h"
+#include "common/trace.h"
 
 namespace stgnn::common {
 
@@ -48,11 +50,12 @@ struct ThreadPool::Impl {
 
   // Claims and runs chunks until the region is drained. Returns after
   // bumping done_chunks for every chunk it executed.
-  void RunChunks(Region* r) {
+  void RunChunks(Region* r, bool is_worker) {
     t_in_parallel_region = true;
     for (;;) {
       const int64_t c = r->next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= r->num_chunks) break;
+      if (is_worker) STGNN_COUNTER_INC("pool.chunks_stolen");
       const int64_t chunk_begin = r->begin + c * r->grain;
       const int64_t chunk_end = std::min(r->end, chunk_begin + r->grain);
       try {
@@ -75,15 +78,21 @@ struct ThreadPool::Impl {
     for (;;) {
       std::shared_ptr<Region> r;
       {
+#if defined(STGNN_TRACING_ENABLED)
+        const int64_t idle_start = trace::NowNs();
+#endif
         std::unique_lock<std::mutex> lock(mu);
         cv_start.wait(lock, [&] {
           return shutdown || generation != seen_generation;
         });
+#if defined(STGNN_TRACING_ENABLED)
+        STGNN_COUNTER_ADD("pool.worker_idle_ns", trace::NowNs() - idle_start);
+#endif
         if (shutdown) return;
         seen_generation = generation;
         r = region;
       }
-      if (r) RunChunks(r.get());
+      if (r) RunChunks(r.get(), /*is_worker=*/true);
     }
   }
 };
@@ -116,6 +125,7 @@ void ThreadPool::ParallelForChunks(
 
   // Serial paths: pool of one, a single chunk, or a nested call.
   if (impl_->workers.empty() || num_chunks == 1 || t_in_parallel_region) {
+    STGNN_COUNTER_ADD("pool.chunks_inline", num_chunks);
     for (int64_t c = 0; c < num_chunks; ++c) {
       const int64_t chunk_begin = begin + c * grain;
       fn(c, chunk_begin, std::min(end, chunk_begin + grain));
@@ -123,6 +133,9 @@ void ThreadPool::ParallelForChunks(
     return;
   }
 
+  STGNN_TRACE_SCOPE("ParallelFor");
+  STGNN_COUNTER_INC("pool.regions");
+  STGNN_COUNTER_ADD("pool.chunks_dispatched", num_chunks);
   auto region = std::make_shared<Region>();
   region->fn = &fn;
   region->begin = begin;
@@ -137,14 +150,20 @@ void ThreadPool::ParallelForChunks(
   impl_->cv_start.notify_all();
 
   // The calling thread is a full participant.
-  impl_->RunChunks(region.get());
+  impl_->RunChunks(region.get(), /*is_worker=*/false);
 
   {
+#if defined(STGNN_TRACING_ENABLED)
+    const int64_t wait_start = trace::NowNs();
+#endif
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->cv_done.wait(lock, [&] {
       return region->done_chunks.load(std::memory_order_acquire) ==
              region->num_chunks;
     });
+#if defined(STGNN_TRACING_ENABLED)
+    STGNN_COUNTER_ADD("pool.caller_wait_ns", trace::NowNs() - wait_start);
+#endif
     impl_->region.reset();
   }
   if (region->first_error) std::rethrow_exception(region->first_error);

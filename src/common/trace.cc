@@ -1,0 +1,186 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+
+#include "common/counters.h"
+
+namespace stgnn::common::trace {
+namespace {
+
+struct Ring {
+  std::mutex mu;
+  std::vector<SpanRecord> slots;  // size == capacity
+  uint64_t total = 0;             // spans ever recorded since last Reset
+};
+
+constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+std::atomic<bool> g_enabled{false};
+
+// Leaked: Scopes on pool worker threads may fire during static destruction.
+Ring* GlobalRing() {
+  static Ring* r = [] {
+    Ring* ring = new Ring();
+    ring->slots.reserve(kDefaultCapacity);
+    return ring;
+  }();
+  return r;
+}
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out.append(buf);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool CompiledIn() {
+#if defined(STGNN_TRACING_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  Epoch();  // pin the epoch no later than the first enable
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  r->slots.clear();
+  r->total = 0;
+}
+
+void SetCapacity(size_t n) {
+  if (n == 0) n = 1;
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  r->slots.clear();
+  r->slots.shrink_to_fit();
+  r->slots.reserve(n);
+  r->total = 0;
+}
+
+size_t Capacity() {
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  return r->slots.capacity();
+}
+
+uint64_t TotalRecorded() {
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  return r->total;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - Epoch())
+      .count();
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+  if (!Enabled()) return;
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_ns = start_ns;
+  rec.duration_ns = end_ns - start_ns;
+  rec.tid = CurrentThreadId();
+
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  const size_t capacity = r->slots.capacity();
+  if (r->slots.size() < capacity) {
+    r->slots.push_back(rec);
+  } else {
+    r->slots[r->total % capacity] = rec;  // overwrite oldest
+  }
+  ++r->total;
+}
+
+std::vector<SpanRecord> Snapshot() {
+  Ring* r = GlobalRing();
+  std::lock_guard<std::mutex> lock(r->mu);
+  const size_t n = r->slots.size();
+  std::vector<SpanRecord> out;
+  out.reserve(n);
+  // Once the ring has wrapped, slot (total % capacity) is the oldest.
+  const size_t oldest = (r->total > n) ? (r->total % n) : 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(r->slots[(oldest + i) % n]);
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  const std::vector<SpanRecord> spans = Snapshot();
+
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome "complete" events take microsecond ts/dur; fractional values
+    // keep sub-microsecond spans visible.
+    os << "\n    {\"name\": \"" << JsonEscape(s.name)
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << s.tid
+       << ", \"ts\": " << static_cast<double>(s.start_ns) / 1000.0
+       << ", \"dur\": " << static_cast<double>(s.duration_ns) / 1000.0 << "}";
+  }
+  os << "\n  ],\n  \"stgnnCounters\": {";
+  first = true;
+  for (const auto& [name, value] : counters::Snapshot()) {
+    if (value == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n    \"" << JsonEscape(name.c_str()) << "\": " << value;
+  }
+  os << "\n  }\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  const std::string body = os.str();
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IoError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace stgnn::common::trace

@@ -1,0 +1,109 @@
+#ifndef STGNN_COMMON_TRACE_H_
+#define STGNN_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stgnn::common::trace {
+
+// Low-overhead scoped-span tracer.
+//
+// Spans are recorded into a process-wide fixed-capacity ring buffer (oldest
+// entries are overwritten once full) and exported as Chrome
+// `chrome://tracing` / Perfetto-compatible JSON via WriteJson. Recording is
+// gated twice:
+//
+//  - compile time: the STGNN_TRACE_SCOPE macro (and the counter macros in
+//    counters.h) expand to nothing unless the build defines
+//    STGNN_TRACING_ENABLED (CMake option STGNN_ENABLE_TRACING, default ON).
+//    With the option OFF the instrumented hot paths are bit-identical to
+//    uninstrumented code.
+//  - run time: even when compiled in, spans are only recorded after
+//    SetEnabled(true); a disabled scope costs one relaxed atomic load.
+//
+// Span names must point at storage that outlives the tracer (the macro
+// passes string literals); the ring stores the pointer, not a copy.
+
+// One completed span.
+struct SpanRecord {
+  const char* name = nullptr;
+  int64_t start_ns = 0;     // monotonic, relative to process trace epoch
+  int64_t duration_ns = 0;
+  uint32_t tid = 0;         // dense per-thread id (0 = first thread seen)
+};
+
+// Whether the build compiled the instrumentation macros in
+// (STGNN_ENABLE_TRACING=ON). The runtime API below works either way; with
+// the option OFF only manually created Scopes/RecordSpan calls produce data.
+bool CompiledIn();
+
+// Runtime gate. Off by default so instrumented code paths cost one branch.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+// Drops every recorded span (capacity is kept).
+void Reset();
+
+// Resizes the ring buffer and drops its contents. n must be >= 1.
+void SetCapacity(size_t n);
+size_t Capacity();
+
+// Spans recorded since the last Reset, including ones that have since been
+// overwritten. Snapshot().size() == min(TotalRecorded(), Capacity()).
+uint64_t TotalRecorded();
+
+// The retained spans, oldest first. Safe to call concurrently with
+// recording; records landing during the call may or may not be included.
+std::vector<SpanRecord> Snapshot();
+
+// Writes the retained spans (and a snapshot of all non-zero counters, under
+// the "stgnnCounters" key) as a Chrome trace-event JSON file. Load it via
+// chrome://tracing or https://ui.perfetto.dev.
+Status WriteJson(const std::string& path);
+
+// Monotonic nanoseconds since the process trace epoch.
+int64_t NowNs();
+
+// Dense id of the calling thread, assigned on first use.
+uint32_t CurrentThreadId();
+
+// Appends a completed span for the calling thread. No-op while disabled.
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns);
+
+// RAII span: records [construction, destruction) under `name` if tracing
+// was enabled at construction time.
+class Scope {
+ public:
+  explicit Scope(const char* name)
+      : name_(Enabled() ? name : nullptr),
+        start_ns_(name_ != nullptr ? NowNs() : 0) {}
+  ~Scope() {
+    if (name_ != nullptr) RecordSpan(name_, start_ns_, NowNs());
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_;
+};
+
+}  // namespace stgnn::common::trace
+
+#define STGNN_TRACE_CONCAT2(a, b) a##b
+#define STGNN_TRACE_CONCAT(a, b) STGNN_TRACE_CONCAT2(a, b)
+
+#if defined(STGNN_TRACING_ENABLED)
+// Traces the enclosing scope as a span named `name` (a string literal).
+#define STGNN_TRACE_SCOPE(name)                 \
+  ::stgnn::common::trace::Scope STGNN_TRACE_CONCAT(stgnn_trace_scope_, \
+                                                   __LINE__)(name)
+#else
+#define STGNN_TRACE_SCOPE(name) ((void)0)
+#endif
+
+#endif  // STGNN_COMMON_TRACE_H_

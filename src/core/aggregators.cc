@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/counters.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "nn/init.h"
 
 namespace stgnn::core {
@@ -21,6 +23,8 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
   STGNN_CHECK_EQ(mask.dim(0), h.value().dim(0));
   const int n = h.value().dim(0);
   const int f = h.value().dim(1);
+  STGNN_TRACE_SCOPE("MaskedNeighborMax");
+  STGNN_COUNTER_INC("op.masked_neighbor_max");
 
   Tensor out({n, f});
   // argmax(i, f): which neighbour supplied the max; -1 = empty row.
@@ -61,6 +65,7 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
     Node* self = node.get();
     Node* parent = h.node().get();
     node->backward_fn = [self, parent, argmax = std::move(argmax), n, f]() {
+      STGNN_TRACE_SCOPE("MaskedNeighborMax.bwd");
       Tensor grad = Tensor::Zeros(parent->value.shape());
       const float* gv = self->grad.data().data();
       float* out_grad = grad.mutable_data().data();
@@ -99,6 +104,8 @@ FlowGnnLayer::FlowGnnLayer(int feature_dim, common::Rng* rng, bool self_term,
 
 Variable FlowGnnLayer::Forward(const Variable& features,
                                const Variable& flow_weights) const {
+  STGNN_TRACE_SCOPE("FlowGnn.Forward");
+  STGNN_COUNTER_INC("op.flow_gnn_layer");
   // Eq. (13)-(14): the aggregate runs over {F_i} ∪ {neighbours}; the node's
   // own features enter alongside the flow-weighted sum (the E_f self-loop
   // weight alone can be arbitrarily small, which would starve the layer of
@@ -115,6 +122,7 @@ MeanGnnLayer::MeanGnnLayer(int feature_dim, common::Rng* rng) {
 
 Variable MeanGnnLayer::Forward(const Variable& features,
                                const Tensor& edge_mask) const {
+  STGNN_TRACE_SCOPE("MeanGnn.Forward");
   // Row-normalised mask = elementwise mean over the neighbour set.
   const int n = edge_mask.dim(0);
   Tensor mean_weights = edge_mask;
@@ -143,6 +151,7 @@ MaxGnnLayer::MaxGnnLayer(int feature_dim, common::Rng* rng) {
 
 Variable MaxGnnLayer::Forward(const Variable& features,
                               const Tensor& edge_mask) const {
+  STGNN_TRACE_SCOPE("MaxGnn.Forward");
   Variable pooled = ag::Relu(ag::MatMul(features, pool_weight_));
   Variable aggregated = MaskedNeighborMax(pooled, edge_mask);
   return ag::Relu(ag::MatMul(aggregated, weight_));
@@ -180,6 +189,8 @@ AttentionGnnLayer::AttentionGnnLayer(int feature_dim, int num_heads,
 
 Variable AttentionGnnLayer::Forward(const Variable& features) const {
   STGNN_CHECK_EQ(features.value().dim(1), feature_dim_);
+  STGNN_TRACE_SCOPE("AttentionGnn.Forward");
+  STGNN_COUNTER_INC("op.attention_gnn_layer");
   last_attention_.clear();
   std::vector<Variable> head_outputs;
   head_outputs.reserve(num_heads_);

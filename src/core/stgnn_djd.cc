@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/counters.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "data/window.h"
 #include "nn/init.h"
 #include "nn/loss.h"
@@ -157,6 +159,8 @@ StgnnDjdModel::StgnnDjdModel(int num_stations, const StgnnConfig& config,
 
 Variable StgnnDjdModel::Forward(const data::StHistory& history, bool training,
                                 common::Rng* dropout_rng) const {
+  STGNN_TRACE_SCOPE("StgnnDjd.Forward");
+  STGNN_COUNTER_INC("model.forwards");
   const int n = num_stations_;
   Variable node_features;
   Variable temporal_inflow;
@@ -232,6 +236,7 @@ data::StHistory StgnnDjdPredictor::HistoryAt(const data::FlowDataset& flow,
 }
 
 void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
+  STGNN_TRACE_SCOPE("Train");
   if (config_.num_threads > 0) common::SetNumThreads(config_.num_threads);
   common::Rng rng(config_.seed);
   dropout_rng_ = std::make_unique<common::Rng>(rng.NextUint64());
@@ -256,6 +261,7 @@ void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
     val_slots.push_back(t);
   }
   auto validation_rmse = [&]() {
+    STGNN_TRACE_SCOPE("Validation");
     if (val_slots.empty()) return 0.0;
     double sum_sq = 0.0;
     int64_t count = 0;
@@ -284,6 +290,8 @@ void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
           : static_cast<int>(train_slots.size());
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    STGNN_TRACE_SCOPE("Epoch");
+    STGNN_COUNTER_INC("train.epochs");
     // Step decay keeps late epochs from bouncing around the optimum.
     if (epoch == config_.epochs * 3 / 5 || epoch == config_.epochs * 17 / 20) {
       optimizer.set_learning_rate(optimizer.learning_rate() * 0.5f);

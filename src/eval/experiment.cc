@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "common/counters.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "data/window.h"
 
 namespace stgnn::eval {
@@ -11,6 +13,7 @@ Metrics EvaluateOnTestSplit(Predictor* predictor,
                             const data::FlowDataset& flow,
                             const EvalWindow& window) {
   STGNN_CHECK(predictor != nullptr);
+  STGNN_TRACE_SCOPE("EvaluateOnTestSplit");
   MetricsAccumulator accumulator;
   const int begin = std::max(flow.val_end, window.min_history);
   for (int t = begin; t < flow.num_slots; ++t) {
@@ -18,6 +21,7 @@ Metrics EvaluateOnTestSplit(Predictor* predictor,
         !flow.InHourRange(t, window.begin_hour, window.end_hour)) {
       continue;
     }
+    STGNN_COUNTER_INC("eval.slots");
     const tensor::Tensor prediction = predictor->Predict(flow, t);
     const tensor::Tensor truth = data::TargetAt(flow, t);
     accumulator.Add(prediction, truth);
@@ -34,7 +38,10 @@ std::vector<Metrics> RunSeeds(const PredictorFactory& factory,
   runs.reserve(num_seeds);
   for (int s = 0; s < num_seeds; ++s) {
     std::unique_ptr<Predictor> predictor = factory(base_seed + s * 1000003ULL);
-    predictor->Train(flow);
+    {
+      STGNN_TRACE_SCOPE("Predictor.Train");
+      predictor->Train(flow);
+    }
     runs.push_back(EvaluateOnTestSplit(predictor.get(), flow, window));
   }
   return runs;

@@ -17,6 +17,10 @@ void MetricsAccumulator::Add(const tensor::Tensor& prediction,
       const double actual = truth.at(i, c);
       if (actual == 0.0) continue;  // station inactive for this component
       const double error = actual - prediction.at(i, c);
+      if (!std::isfinite(error)) {  // keep NaN/Inf out of the sums
+        ++dropped_;
+        continue;
+      }
       sum_squared_ += error * error;
       sum_absolute_ += std::fabs(error);
       ++count_;
@@ -27,6 +31,7 @@ void MetricsAccumulator::Add(const tensor::Tensor& prediction,
 Metrics MetricsAccumulator::Compute() const {
   Metrics metrics;
   metrics.count = count_;
+  metrics.dropped = dropped_;
   if (count_ == 0) return metrics;
   metrics.rmse = std::sqrt(sum_squared_ / static_cast<double>(count_));
   metrics.mae = sum_absolute_ / static_cast<double>(count_);

@@ -18,6 +18,11 @@ struct Metrics {
   double rmse = 0.0;
   double mae = 0.0;
   int64_t count = 0;  // number of (station, slot, demand/supply) terms kept
+  // Active terms whose error was not finite (NaN/Inf prediction, e.g. from a
+  // diverged model). They are excluded from rmse/mae — one poisoned term
+  // must not turn a whole results table into NaN — but reported here so the
+  // divergence stays visible.
+  int64_t dropped = 0;
 };
 
 // Accumulates squared/absolute errors over many slots, then finalises.
@@ -32,6 +37,7 @@ class MetricsAccumulator {
   double sum_squared_ = 0.0;
   double sum_absolute_ = 0.0;
   int64_t count_ = 0;
+  int64_t dropped_ = 0;
 };
 
 // Mean and standard deviation of metrics across seeds (paper tables report

@@ -6,7 +6,9 @@
 #include <limits>
 #include <sstream>
 
+#include "common/counters.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace stgnn::tensor {
 
@@ -56,7 +58,11 @@ std::string ShapeToString(const Shape& shape) {
 Tensor::Tensor() : shape_{}, data_(1, 0.0f) {}
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {
+  STGNN_COUNTER_INC("tensor.allocs");
+  STGNN_COUNTER_ADD("tensor.alloc_bytes",
+                    static_cast<int64_t>(data_.size()) * sizeof(float));
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -201,6 +207,8 @@ Tensor Tensor::Reshape(Shape new_shape) const {
 
 Tensor Tensor::Transpose() const {
   STGNN_CHECK_EQ(ndim(), 2);
+  STGNN_TRACE_SCOPE("Transpose");
+  STGNN_COUNTER_INC("op.transpose");
   const int rows = shape_[0];
   const int cols = shape_[1];
   Tensor out({cols, rows});
@@ -297,6 +305,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
     Tensor out(a.shape());
+    STGNN_COUNTER_ADD("elementwise.elems", out.size());
     const float* da = a.data().data();
     const float* db = b.data().data();
     float* dout = out.mutable_data().data();
@@ -310,6 +319,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   Tensor out(out_shape);
+  STGNN_COUNTER_ADD("elementwise.elems", out.size());
   const int rank = static_cast<int>(out_shape.size());
 
   // Align operand shapes to the output rank with leading 1s.
@@ -348,6 +358,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
 template <typename Fn>
 Tensor UnaryMap(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
+  STGNN_COUNTER_ADD("elementwise.elems", out.size());
   const float* da = a.data().data();
   float* dout = out.mutable_data().data();
   common::ParallelFor(0, out.size(), kElementGrain,
@@ -507,6 +518,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int m = a.dim(0);
   const int k = a.dim(1);
   const int n = b.dim(1);
+  STGNN_TRACE_SCOPE("MatMul");
+  STGNN_COUNTER_INC("op.matmul");
+  STGNN_COUNTER_ADD("flops.matmul", int64_t{2} * m * k * n);
+  STGNN_COUNTER_ADD("bytes.matmul_in",
+                    (int64_t{4} * m * k) + (int64_t{4} * k * n));
   Tensor out({m, n});
   if (m == 0 || k == 0 || n == 0) return out;
   const float* pa = a.data().data();
@@ -680,6 +696,8 @@ Tensor MaxAxis(const Tensor& a, int axis, bool keepdims) {
 
 Tensor RowSoftmax(const Tensor& a) {
   STGNN_CHECK_EQ(a.ndim(), 2);
+  STGNN_TRACE_SCOPE("RowSoftmax");
+  STGNN_COUNTER_INC("op.row_softmax");
   const int rows = a.dim(0);
   const int cols = a.dim(1);
   STGNN_CHECK_GT(cols, 0);

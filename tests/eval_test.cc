@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include "data/city_simulator.h"
 #include "data/window.h"
@@ -62,6 +63,55 @@ TEST(MetricsTest, AccumulatesAcrossSlots) {
   EXPECT_NEAR(m.rmse, std::sqrt((1 + 1 + 4 + 4) / 4.0), 1e-9);
 }
 
+TEST(MetricsTest, AllStationsInactiveYieldsFiniteZeroMetrics) {
+  // All-zero truth: every term is skipped, so Compute must take the
+  // count_ == 0 early-out and never divide by zero.
+  MetricsAccumulator acc;
+  Tensor pred({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor truth({3, 2}, {0, 0, 0, 0, 0, 0});
+  acc.Add(pred, truth);
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_EQ(m.dropped, 0);
+  EXPECT_TRUE(std::isfinite(m.rmse));
+  EXPECT_TRUE(std::isfinite(m.mae));
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(MetricsTest, NanPredictionAtInactiveStationIsIgnored) {
+  // A garbage prediction where the truth is zero is invisible: the term is
+  // excluded before the error is even formed.
+  MetricsAccumulator acc;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Tensor pred({1, 2}, {static_cast<float>(nan), 3.0f});
+  Tensor truth({1, 2}, {0, 4});
+  acc.Add(pred, truth);
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 1);
+  EXPECT_EQ(m.dropped, 0);
+  EXPECT_NEAR(m.mae, 1.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(m.rmse));
+}
+
+TEST(MetricsTest, NanPredictionAtActiveStationIsDroppedNotPoisoning) {
+  // A diverged model emitting NaN/Inf on an active term must not turn the
+  // whole table into NaN; the term is dropped and reported via `dropped`.
+  MetricsAccumulator acc;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor pred({2, 2}, {nan, 2.0f, inf, 3.0f});
+  Tensor truth({2, 2}, {5, 4, 5, 4});
+  acc.Add(pred, truth);
+  const Metrics m = acc.Compute();
+  EXPECT_EQ(m.count, 2);    // the two finite terms (errors 2 and 1)
+  EXPECT_EQ(m.dropped, 2);  // the NaN and the Inf terms
+  EXPECT_TRUE(std::isfinite(m.rmse));
+  EXPECT_TRUE(std::isfinite(m.mae));
+  EXPECT_NEAR(m.mae, 1.5, 1e-9);
+  EXPECT_NEAR(m.rmse, std::sqrt((4.0 + 1.0) / 2.0), 1e-9);
+}
+
 TEST(SummarizeTest, MeanAndStd) {
   std::vector<Metrics> runs(3);
   runs[0].rmse = 1.0;
@@ -79,11 +129,30 @@ TEST(SummarizeTest, MeanAndStd) {
 }
 
 TEST(SummarizeTest, SingleRunHasZeroStd) {
+  // With one run the sample std (n-1 denominator) is undefined; Summarize
+  // must report a finite 0, never 0/0.
   std::vector<Metrics> runs(1);
   runs[0].rmse = 1.5;
+  runs[0].mae = 0.75;
   const SeedStats stats = Summarize(runs);
+  EXPECT_EQ(stats.num_runs, 1);
   EXPECT_NEAR(stats.mean_rmse, 1.5, 1e-9);
+  EXPECT_NEAR(stats.mean_mae, 0.75, 1e-9);
+  EXPECT_TRUE(std::isfinite(stats.std_rmse));
+  EXPECT_TRUE(std::isfinite(stats.std_mae));
   EXPECT_DOUBLE_EQ(stats.std_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.std_mae, 0.0);
+}
+
+TEST(SummarizeTest, EmptyRunsYieldFiniteZeros) {
+  const SeedStats stats = Summarize({});
+  EXPECT_EQ(stats.num_runs, 0);
+  EXPECT_TRUE(std::isfinite(stats.mean_rmse));
+  EXPECT_TRUE(std::isfinite(stats.std_rmse));
+  EXPECT_DOUBLE_EQ(stats.mean_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_mae, 0.0);
+  EXPECT_DOUBLE_EQ(stats.std_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(stats.std_mae, 0.0);
 }
 
 // A predictor that always returns the true previous-slot values; used to
@@ -172,6 +241,21 @@ TEST(FormatTableTest, ContainsModelsAndNumbers) {
   EXPECT_NE(table.find("TestModel"), std::string::npos);
   EXPECT_NE(table.find("1.234"), std::string::npos);
   EXPECT_NE(table.find("5.678±0.100"), std::string::npos);
+}
+
+TEST(FormatTableTest, SingleRunRowsRenderWithoutNan) {
+  // A single-seed row (std undefined, rendered as mean only) must never leak
+  // "nan" into the table.
+  std::vector<TableRow> rows(1);
+  rows[0].model = "SingleSeed";
+  rows[0].chicago = Summarize({Metrics{.rmse = 2.5, .mae = 1.75, .count = 10}});
+  rows[0].los_angeles = Summarize({});  // city not evaluated at all
+  const std::string table = FormatComparisonTable("Table X", rows);
+  EXPECT_EQ(table.find("nan"), std::string::npos) << table;
+  EXPECT_EQ(table.find("NaN"), std::string::npos) << table;
+  EXPECT_NE(table.find("2.500"), std::string::npos);
+  // Single run: no ± suffix on that cell.
+  EXPECT_EQ(table.find("2.500±"), std::string::npos);
 }
 
 }  // namespace

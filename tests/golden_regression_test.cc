@@ -1,0 +1,90 @@
+// Golden end-to-end regression: a fixed-seed CitySimulator city, a short
+// fixed-seed STGNN-DJD training run, and the resulting test-split RMSE/MAE
+// pinned against checked-in golden values. A silent numerics change anywhere
+// in the pipeline (kernel rewrite, aggregator tweak, optimizer reorder)
+// shifts these numbers and fails here before it reaches a results table.
+//
+// The same run is executed at 1 and 4 kernel threads and must match
+// bit-for-bit — the thread pool's determinism contract — so the goldens are
+// thread-count independent by construction.
+//
+// Tolerance: the goldens were recorded with the default build flags
+// (-O3 -march=native). A different compiler or flag set (e.g.
+// STGNN_REPRO_O2) perturbs float contraction and can drift the trained
+// metrics by a small amount, so the comparison allows 2% relative error —
+// far below the shifts real regressions produce, well above flag jitter.
+
+#include <cmath>
+
+#include "core/stgnn_djd.h"
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "eval/experiment.h"
+#include "gtest/gtest.h"
+
+namespace stgnn {
+namespace {
+
+constexpr double kGoldenRmse = 1.2280835312051859;
+constexpr double kGoldenMae = 1.0504794846058298;
+constexpr int64_t kGoldenCount = 1026;
+
+const data::FlowDataset& GoldenFlow() {
+  static const data::FlowDataset* flow = [] {
+    data::CityConfig config = data::CityConfig::Tiny();
+    config.num_days = 16;
+    config.seed = 7;
+    return new data::FlowDataset(
+        data::BuildFlowDataset(data::CitySimulator(config).Generate()));
+  }();
+  return *flow;
+}
+
+core::StgnnConfig GoldenConfig(int num_threads) {
+  core::StgnnConfig config;
+  config.short_term_slots = 8;
+  config.long_term_days = 2;
+  config.fcg_layers = 2;
+  config.pcg_layers = 2;
+  config.attention_heads = 2;
+  config.epochs = 2;
+  config.batch_size = 16;
+  config.max_samples_per_epoch = 48;
+  config.seed = 17;
+  config.num_threads = num_threads;
+  return config;
+}
+
+eval::Metrics TrainAndEvaluate(int num_threads) {
+  core::StgnnDjdPredictor model(GoldenConfig(num_threads));
+  model.Train(GoldenFlow());
+  eval::EvalWindow window;
+  window.min_history = model.MinHistorySlots(GoldenFlow());
+  return eval::EvaluateOnTestSplit(&model, GoldenFlow(), window);
+}
+
+TEST(GoldenRegression, TrainedMetricsMatchGoldenAndThreadCountsAgree) {
+  const eval::Metrics serial = TrainAndEvaluate(1);
+  const eval::Metrics parallel = TrainAndEvaluate(4);
+
+  // Determinism contract: the decomposition never depends on thread count,
+  // so the two runs must agree exactly, not approximately.
+  EXPECT_EQ(serial.rmse, parallel.rmse);
+  EXPECT_EQ(serial.mae, parallel.mae);
+  EXPECT_EQ(serial.count, parallel.count);
+
+  EXPECT_EQ(serial.count, kGoldenCount);
+  EXPECT_NEAR(serial.rmse, kGoldenRmse, 0.02 * kGoldenRmse)
+      << std::scientific << "measured rmse " << serial.rmse;
+  EXPECT_NEAR(serial.mae, kGoldenMae, 0.02 * kGoldenMae)
+      << std::scientific << "measured mae " << serial.mae;
+
+  // The trained model must clearly beat predicting zeros on this city —
+  // guards against a regression where training silently diverges but the
+  // goldens are later "refreshed" without noticing.
+  EXPECT_LT(serial.rmse, 6.0);
+  EXPECT_GT(serial.count, 0);
+}
+
+}  // namespace
+}  // namespace stgnn

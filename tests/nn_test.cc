@@ -1,5 +1,9 @@
 #include <cmath>
+#include <cstdio>
+#include <string>
 
+#include "core/stgnn_djd.h"
+#include "data/window.h"
 #include "gradcheck.h"
 #include "gtest/gtest.h"
 #include "nn/init.h"
@@ -7,6 +11,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/rnn.h"
+#include "nn/serialize.h"
 
 namespace stgnn::nn {
 namespace {
@@ -253,6 +258,141 @@ TEST(MlpTest, LearnsXorLikePattern) {
   EXPECT_GT(out.at(1, 0), 0.7f);
   EXPECT_GT(out.at(2, 0), 0.7f);
   EXPECT_LT(out.at(3, 0), 0.3f);
+}
+
+// --- Serialize round trips --------------------------------------------------
+// For every module kind: save module A, load into a differently-initialised
+// module B of the same architecture, and require B's forward output to match
+// A's bit-for-bit (checkpoints store the exact float32 words).
+
+std::string RoundTripPath(const std::string& tag) {
+  return ::testing::TempDir() + "/stgnn_nn_roundtrip_" + tag + ".ckpt";
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.flat(i), b.flat(i)) << "element " << i;
+  }
+}
+
+TEST(SerializeRoundTrip, LinearBitIdenticalForward) {
+  common::Rng rng_a(41);
+  common::Rng rng_b(42);
+  Linear a(5, 3, &rng_a);
+  Linear b(5, 3, &rng_b);
+  common::Rng input_rng(43);
+  const Variable x =
+      Variable::Constant(Tensor::RandomNormal({4, 5}, 0, 1, &input_rng));
+  ASSERT_FALSE(a.Forward(x).value().AllClose(b.Forward(x).value(), 1e-6f))
+      << "differently seeded layers should disagree before loading";
+
+  const std::string path = RoundTripPath("linear");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(path, &b).ok());
+  ExpectBitIdentical(a.Forward(x).value(), b.Forward(x).value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, MlpBitIdenticalForward) {
+  common::Rng rng_a(51);
+  common::Rng rng_b(52);
+  Mlp a({4, 8, 8, 2}, &rng_a);
+  Mlp b({4, 8, 8, 2}, &rng_b);
+  common::Rng input_rng(53);
+  const Variable x =
+      Variable::Constant(Tensor::RandomNormal({3, 4}, 0, 1, &input_rng));
+
+  const std::string path = RoundTripPath("mlp");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(path, &b).ok());
+  ExpectBitIdentical(a.Forward(x).value(), b.Forward(x).value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, RnnCellBitIdenticalForward) {
+  common::Rng rng_a(61);
+  common::Rng rng_b(62);
+  RnnCell a(4, 6, &rng_a);
+  RnnCell b(4, 6, &rng_b);
+  common::Rng input_rng(63);
+  const Variable x =
+      Variable::Constant(Tensor::RandomNormal({2, 4}, 0, 1, &input_rng));
+  const Variable h =
+      Variable::Constant(Tensor::RandomNormal({2, 6}, 0, 1, &input_rng));
+
+  const std::string path = RoundTripPath("rnn_cell");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(path, &b).ok());
+  ExpectBitIdentical(a.Forward(x, h).value(), b.Forward(x, h).value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, LstmCellBitIdenticalForward) {
+  common::Rng rng_a(71);
+  common::Rng rng_b(72);
+  LstmCell a(4, 6, &rng_a);
+  LstmCell b(4, 6, &rng_b);
+  common::Rng input_rng(73);
+  const Variable x =
+      Variable::Constant(Tensor::RandomNormal({2, 4}, 0, 1, &input_rng));
+  LstmCell::State state;
+  state.h = Variable::Constant(Tensor::RandomNormal({2, 6}, 0, 1, &input_rng));
+  state.c = Variable::Constant(Tensor::RandomNormal({2, 6}, 0, 1, &input_rng));
+
+  const std::string path = RoundTripPath("lstm_cell");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(path, &b).ok());
+  const LstmCell::State out_a = a.Forward(x, state);
+  const LstmCell::State out_b = b.Forward(x, state);
+  ExpectBitIdentical(out_a.h.value(), out_b.h.value());
+  ExpectBitIdentical(out_a.c.value(), out_b.c.value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, FullStgnnDjdBitIdenticalForward) {
+  core::StgnnConfig config;
+  config.short_term_slots = 4;
+  config.long_term_days = 2;
+  config.fcg_layers = 1;
+  config.pcg_layers = 1;
+  config.attention_heads = 2;
+  config.dropout = 0.0f;
+  const int n = 6;
+
+  common::Rng rng_a(81);
+  common::Rng rng_b(82);
+  core::StgnnDjdModel a(n, config, &rng_a);
+  core::StgnnDjdModel b(n, config, &rng_b);
+
+  common::Rng input_rng(83);
+  data::StHistory history;
+  history.inflow_short =
+      Tensor::RandomUniform({4, n * n}, 0.0f, 0.6f, &input_rng);
+  history.outflow_short =
+      Tensor::RandomUniform({4, n * n}, 0.0f, 0.6f, &input_rng);
+  history.inflow_long =
+      Tensor::RandomUniform({2, n * n}, 0.0f, 0.6f, &input_rng);
+  history.outflow_long =
+      Tensor::RandomUniform({2, n * n}, 0.0f, 0.6f, &input_rng);
+
+  const std::string path = RoundTripPath("stgnn_djd");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(path, &b).ok());
+  ExpectBitIdentical(a.Forward(history, false, nullptr).value(),
+                     b.Forward(history, false, nullptr).value());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, ShapeMismatchFailsToLoad) {
+  common::Rng rng(91);
+  Linear saved(4, 3, &rng);
+  Linear wrong_shape(3, 4, &rng);
+  const std::string path = RoundTripPath("mismatch");
+  ASSERT_TRUE(SaveParameters(saved, path).ok());
+  const Status st = LoadParameters(path, &wrong_shape);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,230 @@
+// Tests for the observability layer: scoped-span tracer (src/common/trace.h)
+// and the counter registry (src/common/counters.h) — span nesting, ring
+// overwrite, cross-thread span attribution, counter atomicity under
+// ParallelFor, and the Chrome trace JSON export.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::common {
+namespace {
+
+namespace trace = ::stgnn::common::trace;
+namespace counters = ::stgnn::common::counters;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetCapacity(size_t{1} << 16);
+    trace::Reset();
+    trace::SetEnabled(true);
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::Reset();
+  }
+};
+
+std::vector<trace::SpanRecord> SpansNamed(
+    const std::vector<trace::SpanRecord>& spans, const std::string& name) {
+  std::vector<trace::SpanRecord> out;
+  for (const auto& s : spans) {
+    if (name == s.name) out.push_back(s);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, ScopeRecordsOneSpanWithPositiveDuration) {
+  { trace::Scope scope("unit"); }
+  const auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit");
+  EXPECT_GE(spans[0].start_ns, 0);
+  EXPECT_GE(spans[0].duration_ns, 0);
+}
+
+TEST_F(TraceTest, NestedScopesRecordInnerBeforeOuterAndContained) {
+  {
+    trace::Scope outer("outer");
+    trace::Scope inner("inner");
+  }
+  const auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Scopes close inner-first, so the inner span lands first in the ring.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_LE(spans[0].start_ns + spans[0].duration_ns,
+            spans[1].start_ns + spans[1].duration_ns);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing) {
+  trace::SetEnabled(false);
+  { STGNN_TRACE_SCOPE("invisible"); }
+  trace::RecordSpan("also_invisible", 0, 1);
+  EXPECT_EQ(trace::Snapshot().size(), 0u);
+  EXPECT_EQ(trace::TotalRecorded(), 0u);
+}
+
+TEST_F(TraceTest, MacroRecordsWhenCompiledIn) {
+  { STGNN_TRACE_SCOPE("macro_span"); }
+  const auto spans = trace::Snapshot();
+  if (trace::CompiledIn()) {
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_STREQ(spans[0].name, "macro_span");
+  } else {
+    EXPECT_EQ(spans.size(), 0u);
+  }
+}
+
+TEST_F(TraceTest, RingOverwritesOldestButCountsAll) {
+  trace::SetCapacity(4);
+  trace::SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    trace::RecordSpan(i % 2 == 0 ? "even" : "odd", i, i + 1);
+  }
+  EXPECT_EQ(trace::TotalRecorded(), 10u);
+  const auto spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The four newest spans survive, oldest first: starts 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].start_ns, 6 + i);
+  }
+}
+
+TEST_F(TraceTest, CrossThreadSpansGetDistinctTids) {
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] { trace::Scope scope("worker_span"); });
+  }
+  for (auto& t : threads) t.join();
+  { trace::Scope scope("main_span"); }
+
+  const auto spans = trace::Snapshot();
+  const auto workers = SpansNamed(spans, "worker_span");
+  const auto mains = SpansNamed(spans, "main_span");
+  ASSERT_EQ(workers.size(), static_cast<size_t>(kThreads));
+  ASSERT_EQ(mains.size(), 1u);
+  std::vector<uint32_t> tids;
+  for (const auto& s : workers) tids.push_back(s.tid);
+  tids.push_back(mains[0].tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end())
+      << "every recording thread must get its own tid";
+}
+
+TEST_F(TraceTest, CounterAtomicUnderParallelFor) {
+  counters::Counter* c = counters::FindOrCreate("test.parallel_increments");
+  c->Reset();
+  const int prev_threads = GetNumThreads();
+  SetNumThreads(4);
+  constexpr int64_t kIters = 100000;
+  // Grain of 7 forces many chunks; every iteration bumps the counter once.
+  ParallelFor(0, kIters, 7, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) c->Add(1);
+  });
+  SetNumThreads(prev_threads);
+  EXPECT_EQ(c->value(), kIters);
+  c->Reset();
+}
+
+TEST_F(TraceTest, CounterRegistryFindSnapshotReset) {
+  counters::Counter* a = counters::FindOrCreate("test.registry_a");
+  counters::Counter* again = counters::FindOrCreate("test.registry_a");
+  EXPECT_EQ(a, again) << "FindOrCreate must return stable pointers";
+  a->Reset();
+  a->Add(41);
+  a->Add(1);
+
+  bool found = false;
+  for (const auto& [name, value] : counters::Snapshot()) {
+    if (name == "test.registry_a") {
+      found = true;
+      EXPECT_EQ(value, 42);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const std::string table = counters::Format();
+  EXPECT_NE(table.find("test.registry_a"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+
+  a->Reset();
+  EXPECT_EQ(a->value(), 0);
+}
+
+TEST_F(TraceTest, WriteJsonProducesLoadableChromeTrace) {
+  { trace::Scope scope("json \"quoted\"\\span"); }
+  { trace::Scope scope("plain"); }
+  counters::FindOrCreate("test.json_counter")->Add(7);
+
+  const std::string path =
+      ::testing::TempDir() + "/stgnn_trace_test_trace.json";
+  const Status st = trace::WriteJson(path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string body = buffer.str();
+
+  // Structural sanity: balanced braces/brackets, the trace-event envelope,
+  // both spans, and the escaped quote in the first span's name.
+  EXPECT_EQ(std::count(body.begin(), body.end(), '{'),
+            std::count(body.begin(), body.end(), '}'));
+  EXPECT_EQ(std::count(body.begin(), body.end(), '['),
+            std::count(body.begin(), body.end(), ']'));
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(body.find("json \\\"quoted\\\"\\\\span"), std::string::npos);
+  EXPECT_NE(body.find("\"plain\""), std::string::npos);
+  EXPECT_NE(body.find("\"stgnnCounters\""), std::string::npos);
+  EXPECT_NE(body.find("\"test.json_counter\": 7"), std::string::npos);
+
+  counters::FindOrCreate("test.json_counter")->Reset();
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteJsonToUnwritablePathFails) {
+  const Status st = trace::WriteJson("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST_F(TraceTest, ResetDropsSpans) {
+  { trace::Scope scope("dropped"); }
+  ASSERT_EQ(trace::Snapshot().size(), 1u);
+  trace::Reset();
+  EXPECT_EQ(trace::Snapshot().size(), 0u);
+  EXPECT_EQ(trace::TotalRecorded(), 0u);
+}
+
+TEST_F(TraceTest, InstrumentedKernelEmitsMatMulSpanWhenCompiledIn) {
+  if (!trace::CompiledIn()) GTEST_SKIP() << "built without tracing";
+  const tensor::Tensor a = tensor::Tensor::Ones({8, 8});
+  const tensor::Tensor b = tensor::Tensor::Ones({8, 8});
+  tensor::Tensor c = tensor::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 8.0f);
+  const auto spans = SpansNamed(trace::Snapshot(), "MatMul");
+  EXPECT_EQ(spans.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stgnn::common

@@ -7,9 +7,15 @@
 // single-thread) numbers so every future PR's perf claims are checkable
 // against both.
 //
-// Usage: bench_baseline [--out PATH] [--min-seconds S]
+// Usage: bench_baseline [--out PATH] [--min-seconds S] [--trace-out PATH]
 // Regenerate the tracked file from the repo root with:
 //   ./build/tools/bench_baseline --out BENCH_kernels.json
+//
+// --trace-out additionally records every kernel span during the sweep and
+// writes a chrome://tracing / Perfetto JSON next to the bench numbers, plus
+// the counter registry (flops, chunks dispatched, ...) to stderr — the span
+// breakdown behind each BENCH_*.json claim. The tracked JSON's schema is
+// unchanged either way.
 
 #include <algorithm>
 #include <chrono>
@@ -20,8 +26,10 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "common/counters.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/aggregators.h"
 #include "tensor/tensor.h"
 
@@ -145,15 +153,38 @@ void MeasureKernels(int threads, std::vector<Measurement>* out) {
   }
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, const std::string& trace_path) {
   std::vector<int> sweep = {1, 2, 4, common::HardwareThreads()};
   std::sort(sweep.begin(), sweep.end());
   sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  if (!trace_path.empty()) {
+    if (!common::trace::CompiledIn()) {
+      std::fprintf(stderr,
+                   "warning: built with STGNN_ENABLE_TRACING=OFF; the trace "
+                   "will contain no spans\n");
+    }
+    common::trace::SetEnabled(true);
+  }
 
   std::vector<Measurement> results;
   for (int threads : sweep) {
     std::fprintf(stderr, "measuring at %d thread(s)...\n", threads);
     MeasureKernels(threads, &results);
+  }
+
+  if (!trace_path.empty()) {
+    common::trace::SetEnabled(false);
+    const Status st = common::trace::WriteJson(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s (%llu spans recorded)\n",
+                 trace_path.c_str(),
+                 static_cast<unsigned long long>(
+                     common::trace::TotalRecorded()));
+    std::fputs(common::counters::Format().c_str(), stderr);
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -206,16 +237,20 @@ int Run(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_kernels.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc) {
       stgnn::g_min_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_baseline [--out PATH] [--min-seconds S]\n");
+                   "usage: bench_baseline [--out PATH] [--min-seconds S] "
+                   "[--trace-out PATH]\n");
       return 2;
     }
   }
-  return stgnn::Run(out_path);
+  return stgnn::Run(out_path, trace_path);
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Configure (if needed), build, and run the tier-1 test suite — the fast
+# gate every PR must keep green. Usage:
+#
+#   tools/run_tier1.sh           # tier-1 only (fast)
+#   tools/run_tier1.sh --all     # tier-1 + tier-2 (gradcheck, golden e2e)
+#
+# Extra arguments after the optional --all are forwarded to ctest.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${STGNN_BUILD_DIR:-$repo_root/build}"
+
+label="tier1"
+if [ "${1:-}" = "--all" ]; then
+  label="tier1|tier2"
+  shift
+fi
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" -L "$label" --output-on-failure -j "$(nproc)" "$@"

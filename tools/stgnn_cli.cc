@@ -9,6 +9,10 @@
 //
 // `--city` accepts chicago | la | tiny (synthetic presets) — or pass
 // `--trips-csv F --stations-csv F` to read exported data instead.
+//
+// Observability (any command): `--trace-out=trace.json` records spans for
+// the whole run and writes a chrome://tracing / Perfetto-loadable file;
+// `--print-counters` dumps the op/pool counter registry on exit.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +21,8 @@
 #include <string>
 
 #include "baselines/arima.h"
+#include "common/counters.h"
+#include "common/trace.h"
 #include "baselines/gbrt.h"
 #include "baselines/ha.h"
 #include "baselines/mlp_model.h"
@@ -30,12 +36,23 @@ namespace {
 
 using namespace stgnn;
 
+// Accepts `--key value`, `--key=value`, and bare boolean switches
+// (`--print-counters`), which are stored as "1".
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    flags[key] = argv[i + 1];
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      const std::string value = argv[i + 1];
+      ++i;
+      flags[key] = value;
+    } else {
+      flags[key] = std::string("1");
+    }
   }
   return flags;
 }
@@ -242,7 +259,9 @@ void Usage() {
                "  simulate [--trips F --stations F]\n"
                "  train    [--epochs N --horizon H --checkpoint F]\n"
                "  evaluate [--model ha|arima|xgboost|mlp|stgnn]\n"
-               "  predict  [--checkpoint F --slot T]\n");
+               "  predict  [--checkpoint F --slot T]\n"
+               "any command also accepts --trace-out=trace.json "
+               "(chrome://tracing JSON) and --print-counters\n");
 }
 
 }  // namespace
@@ -254,10 +273,47 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv);
-  if (command == "simulate") return CmdSimulate(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  if (command == "predict") return CmdPredict(flags);
-  Usage();
-  return 2;
+
+  const bool want_trace = flags.count("trace-out") > 0;
+  if (want_trace) {
+    if (!common::trace::CompiledIn()) {
+      std::fprintf(stderr,
+                   "warning: built with STGNN_ENABLE_TRACING=OFF; the trace "
+                   "will contain no spans\n");
+    }
+    common::trace::SetEnabled(true);
+  }
+
+  int rc = 2;
+  if (command == "simulate") {
+    rc = CmdSimulate(flags);
+  } else if (command == "train") {
+    rc = CmdTrain(flags);
+  } else if (command == "evaluate") {
+    rc = CmdEvaluate(flags);
+  } else if (command == "predict") {
+    rc = CmdPredict(flags);
+  } else {
+    Usage();
+  }
+
+  if (want_trace) {
+    common::trace::SetEnabled(false);
+    const Status st = common::trace::WriteJson(flags.at("trace-out"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::fprintf(stderr, "trace written to %s (%llu spans recorded)\n",
+                   flags.at("trace-out").c_str(),
+                   static_cast<unsigned long long>(
+                       common::trace::TotalRecorded()));
+    }
+  }
+  if (flags.count("print-counters")) {
+    const std::string table = common::counters::Format();
+    std::fputs(table.empty() ? "(no non-zero counters)\n" : table.c_str(),
+               stdout);
+  }
+  return rc;
 }
