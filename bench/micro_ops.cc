@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -18,6 +19,7 @@
 #include "core/aggregators.h"
 #include "core/flow_convolution.h"
 #include "nn/loss.h"
+#include "tensor/csr.h"
 #include "tensor/tensor.h"
 
 namespace stgnn {
@@ -95,6 +97,90 @@ void BM_MaskedNeighborMax(benchmark::State& state) {
 BENCHMARK(BM_MaskedNeighborMax)->Apply([](benchmark::internal::Benchmark* b) {
   SweepArgs(b, {50, 128});
 });
+
+// ~density% random edges plus self-loops, like an FCG slot's edge mask.
+Tensor RandomEdgeMask(int n, int density_pct, common::Rng* rng) {
+  Tensor mask = Tensor::Zeros({n, n});
+  const double p = density_pct / 100.0;
+  for (int i = 0; i < n; ++i) {
+    mask.at(i, i) = 1.0f;
+    for (int j = 0; j < n; ++j) {
+      if (rng->Uniform() < p) mask.at(i, j) = 1.0f;
+    }
+  }
+  return mask;
+}
+
+// n in {128, 256, 512} x edge density {5, 10, 25, 50}% x thread sweep: the
+// dense/sparse crossover behind StgnnConfig::sparse_density_threshold.
+void DensityArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {128, 256, 512}) {
+    for (int64_t d : {5, 10, 25, 50}) {
+      for (int64_t t : ThreadSweep()) b->Args({n, d, t});
+    }
+  }
+}
+
+// FCG aggregation as dense MatMul: the cost is O(n^2 f) no matter how many
+// of the weights are zero. The comparison baseline for BM_SpMM.
+void BM_SpMMDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int density = static_cast<int>(state.range(1));
+  common::SetNumThreads(static_cast<int>(state.range(2)));
+  common::Rng rng(7);
+  const Tensor weights = RandomEdgeMask(n, density, &rng);
+  const Tensor x = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(weights, x));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_SpMMDense)->Apply(DensityArgs);
+
+// Same aggregation on the CSR kernel: O(nnz f), bit-identical output.
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int density = static_cast<int>(state.range(1));
+  common::SetNumThreads(static_cast<int>(state.range(2)));
+  common::Rng rng(7);
+  const tensor::Csr csr =
+      tensor::Csr::FromDense(RandomEdgeMask(n, density, &rng));
+  const Tensor x = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::SpMM(csr, x));
+  }
+  state.SetItemsProcessed(state.iterations() * csr.nnz() * n);
+}
+BENCHMARK(BM_SpMM)->Apply(DensityArgs);
+
+void BM_NeighborMaxDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int density = static_cast<int>(state.range(1));
+  common::SetNumThreads(static_cast<int>(state.range(2)));
+  common::Rng rng(8);
+  const Tensor mask = RandomEdgeMask(n, density, &rng);
+  Variable hv = Variable::Constant(Tensor::RandomNormal({n, n}, 0, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MaskedNeighborMax(hv, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
+}
+BENCHMARK(BM_NeighborMaxDense)->Apply(DensityArgs);
+
+void BM_NeighborMaxSparse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int density = static_cast<int>(state.range(1));
+  common::SetNumThreads(static_cast<int>(state.range(2)));
+  common::Rng rng(8);
+  const auto pattern = std::make_shared<const tensor::Csr>(
+      tensor::Csr::FromDense(RandomEdgeMask(n, density, &rng)));
+  Variable hv = Variable::Constant(Tensor::RandomNormal({n, n}, 0, 1, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MaskedNeighborMax(hv, pattern));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n);
+}
+BENCHMARK(BM_NeighborMaxSparse)->Apply(DensityArgs);
 
 void BM_AttentionLayerForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

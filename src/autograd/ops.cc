@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/thread_pool.h"
@@ -254,6 +255,103 @@ Variable MatMul(const Variable& a, const Variable& b) {
   return Variable::FromNode(node);
 }
 
+namespace {
+
+// dA of SpMM at the pattern's nnz positions: dA(i, j) = g(i, :) · x(j, :),
+// scattered into a dense gradient (zeros off-pattern — the dense MatMul
+// backward's off-pattern entries are annihilated downstream by the edge
+// mask anyway, see FCG Eq. (10)). Rows of the pattern are independent, so
+// the scatter is deterministic and race-free.
+Tensor SpmmGradA(const tensor::Csr& pattern, const Tensor& g,
+                 const Tensor& x) {
+  Tensor da = Tensor::Zeros({pattern.rows(), pattern.cols()});
+  const int m = pattern.rows();
+  const int f = x.dim(1);
+  const int* rp = pattern.row_ptr().data();
+  const int* ci = pattern.col_idx().data();
+  const float* pg = g.data().data();
+  const float* px = x.data().data();
+  float* pd = da.mutable_data().data();
+  const int64_t cost_per_row =
+      (pattern.nnz() / std::max(m, 1) + 1) * static_cast<int64_t>(f);
+  int max_row_nnz = 0;
+  for (int i = 0; i < m; ++i) {
+    max_row_nnz = std::max(max_row_nnz, rp[i + 1] - rp[i]);
+  }
+  common::ParallelFor(
+      0, m, common::GrainFor(m, cost_per_row), [&](int64_t ib, int64_t ie) {
+        std::vector<float> scratch(static_cast<size_t>(max_row_nnz));
+        for (int64_t i = ib; i < ie; ++i) {
+          const int begin = rp[i];
+          const int cnt = rp[i + 1] - begin;
+          if (cnt == 0) continue;
+          const int* cols = ci + begin;
+          const float* grow = pg + i * f;
+          std::fill(scratch.begin(), scratch.begin() + cnt, 0.0f);
+          // Deliberately the same loop shape as MatMulSmall (k-outer,
+          // element-wise inner read-modify-write) so the compiler makes the
+          // same FMA-contraction choice for both; a dot-product inner loop
+          // contracts differently and drifts from the dense backward by an
+          // ulp (tests/sparse_test.cc pins the bitwise match).
+          for (int c = 0; c < f; ++c) {
+            const float gval = grow[c];
+            for (int e = 0; e < cnt; ++e) {
+              scratch[e] += gval * px[static_cast<size_t>(cols[e]) * f + c];
+            }
+          }
+          float* drow = pd + i * pattern.cols();
+          for (int e = 0; e < cnt; ++e) drow[cols[e]] = scratch[e];
+        }
+      });
+  return da;
+}
+
+}  // namespace
+
+Variable SparseMatMul(const Variable& a, const Variable& x,
+                      std::shared_ptr<const tensor::Csr> pattern) {
+  STGNN_CHECK(pattern != nullptr);
+  STGNN_CHECK_EQ(a.value().ndim(), 2);
+  STGNN_CHECK_EQ(a.value().dim(0), pattern->rows());
+  STGNN_CHECK_EQ(a.value().dim(1), pattern->cols());
+  STGNN_TRACE_SCOPE("SparseMatMul");
+  std::vector<float> vals = pattern->GatherValues(a.value());
+  auto node = MakeNode(tensor::SpMM(*pattern, vals, x.value()), {a, x});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* px = x.node().get();
+    node->backward_fn = [self, pa, px, pattern = std::move(pattern),
+                         vals = std::move(vals)]() {
+      STGNN_TRACE_SCOPE("SparseMatMul.bwd");
+      if (pa->requires_grad) {
+        pa->AccumulateGrad(SpmmGradA(*pattern, self->grad, px->value));
+      }
+      if (px->requires_grad) {
+        const tensor::Csr at = pattern->Transposed(vals);
+        px->AccumulateGrad(tensor::SpMM(at, self->grad));
+      }
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable SparseMatMul(std::shared_ptr<const tensor::Csr> a,
+                      const Variable& x) {
+  STGNN_CHECK(a != nullptr);
+  STGNN_TRACE_SCOPE("SparseMatMul");
+  auto node = MakeNode(tensor::SpMM(*a, x.value()), {x});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* px = x.node().get();
+    node->backward_fn = [self, px, a = std::move(a)]() {
+      STGNN_TRACE_SCOPE("SparseMatMul.bwd");
+      px->AccumulateGrad(tensor::SpMM(a->Transposed(), self->grad));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
 Variable Transpose(const Variable& a) {
   auto node = MakeNode(a.value().Transpose(), {a});
   if (node->requires_grad) {
@@ -382,9 +480,8 @@ Variable RowSoftmax(const Variable& a) {
       const float* yd = y.data().data();
       const float* gd = g.data().data();
       float* dxd = dx.mutable_data().data();
-      const int64_t row_grain =
-          std::max<int64_t>(1, 2048 / std::max(cols, 1));
-      common::ParallelFor(0, rows, row_grain, [&](int64_t ib, int64_t ie) {
+      common::ParallelFor(0, rows, common::GrainFor(rows, cols),
+                          [&](int64_t ib, int64_t ie) {
         for (int64_t i = ib; i < ie; ++i) {
           const float* yrow = yd + i * cols;
           const float* grow = gd + i * cols;

@@ -1,10 +1,12 @@
 #ifndef STGNN_AUTOGRAD_OPS_H_
 #define STGNN_AUTOGRAD_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
 #include "common/rng.h"
+#include "tensor/csr.h"
 
 namespace stgnn::autograd {
 
@@ -35,6 +37,21 @@ Variable MulScalar(const Variable& a, float s);
 
 // --- Linear algebra / shape ---
 Variable MatMul(const Variable& a, const Variable& b);
+// Y = A·X where A is the dense [m, k] variable `a` read through the fixed
+// sparsity `pattern` (entries of `a` off the pattern are treated as zero;
+// on the FCG they already are). Forward gathers a's values at the pattern's
+// nnz positions and runs CSR SpMM; backward pushes dX = Aᵀ·g through the
+// transposed pattern and dA = (g·Xᵀ) gathered at the nnz positions only.
+// Both directions are deterministic and bit-identical across thread
+// counts; the forward is bit-identical to MatMul(a, x) when `a` is zero
+// off-pattern. The pattern is shared (per-slot, across layers) and must
+// outlive the backward pass — hence the shared_ptr.
+Variable SparseMatMul(const Variable& a, const Variable& x,
+                      std::shared_ptr<const tensor::Csr> pattern);
+// Y = A·X where A lives entirely in `a` (structure + constant values, e.g.
+// a row-normalised edge mask). Only X receives gradients.
+Variable SparseMatMul(std::shared_ptr<const tensor::Csr> a,
+                      const Variable& x);
 Variable Transpose(const Variable& a);
 Variable Reshape(const Variable& a, tensor::Shape new_shape);
 // Concatenates 2-D variables along axis (0 = rows, 1 = cols).

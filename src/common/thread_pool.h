@@ -100,6 +100,20 @@ void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
 // deterministic reduction slots a chunked reduction needs.
 int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
 
+// Grain for a ParallelFor over `items` work items that each cost roughly
+// `cost_per_item` elementary operations: targets ~2048 operations per chunk
+// (the break-even point where dispatch overhead stops mattering for the
+// row-level kernels) while staying fine-grained enough to balance across
+// the pool. Depends only on its arguments — never the thread count — so
+// chunk decompositions built from it keep the determinism contract.
+inline int64_t GrainFor(int64_t items, int64_t cost_per_item) {
+  constexpr int64_t kTargetOpsPerChunk = 2048;
+  int64_t grain = kTargetOpsPerChunk / (cost_per_item < 1 ? 1 : cost_per_item);
+  if (grain < 1) grain = 1;
+  if (items > 0 && grain > items) grain = items;
+  return grain;
+}
+
 }  // namespace stgnn::common
 
 #endif  // STGNN_COMMON_THREAD_POOL_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/thread_pool.h"
@@ -14,6 +17,50 @@ using autograd::Node;
 using autograd::Variable;
 namespace ag = stgnn::autograd;
 using tensor::Tensor;
+
+namespace {
+
+// Shared tail of the dense and sparse neighbour-max forwards: wraps the
+// pooled values + argmax table in a node whose backward scatters each
+// output gradient to the neighbour that supplied the max. `rows` counts
+// output rows (= argmax rows); the gradient tensor takes h's shape.
+Variable MakeNeighborMaxNode(const Variable& h, Tensor out,
+                             std::vector<int> argmax, int rows, int f) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(out);
+  node->parents.push_back(h.node());
+  node->requires_grad = h.requires_grad();
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* parent = h.node().get();
+    node->backward_fn = [self, parent, argmax = std::move(argmax), rows,
+                         f]() {
+      STGNN_TRACE_SCOPE("MaskedNeighborMax.bwd");
+      Tensor grad = Tensor::Zeros(parent->value.shape());
+      const float* gv = self->grad.data().data();
+      float* out_grad = grad.mutable_data().data();
+      const int* am = argmax.data();
+      // The scatter grad(j, c) += g(i, c) races across rows i but never
+      // across feature columns, so parallelise over c: each column is
+      // owned by one chunk and keeps the serial i-ascending order.
+      common::ParallelFor(0, f, common::GrainFor(f, rows),
+                          [&](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          for (int i = 0; i < rows; ++i) {
+            const int j = am[static_cast<size_t>(i) * f + c];
+            if (j >= 0) {
+              out_grad[static_cast<size_t>(j) * f + c] += gv[i * f + c];
+            }
+          }
+        }
+      });
+      parent->AccumulateGrad(grad);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+}  // namespace
 
 Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
   STGNN_CHECK(h.defined());
@@ -35,8 +82,8 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
     float* ov = out.mutable_data().data();
     int* am = argmax.data();
     // Rows of the output are independent; fan them out across the pool.
-    const int64_t grain = std::max<int64_t>(1, 2048 / std::max(n * f, 1));
-    common::ParallelFor(0, n, grain, [&](int64_t ib, int64_t ie) {
+    common::ParallelFor(0, n, common::GrainFor(n, int64_t{n} * f),
+                        [&](int64_t ib, int64_t ie) {
       for (int64_t i = ib; i < ie; ++i) {
         const float* mask_row = mv + i * n;
         for (int c = 0; c < f; ++c) {
@@ -56,38 +103,62 @@ Variable MaskedNeighborMax(const Variable& h, const Tensor& mask) {
       }
     });
   }
+  return MakeNeighborMaxNode(h, std::move(out), std::move(argmax), n, f);
+}
 
-  auto node = std::make_shared<Node>();
-  node->value = std::move(out);
-  node->parents.push_back(h.node());
-  node->requires_grad = h.requires_grad();
-  if (node->requires_grad) {
-    Node* self = node.get();
-    Node* parent = h.node().get();
-    node->backward_fn = [self, parent, argmax = std::move(argmax), n, f]() {
-      STGNN_TRACE_SCOPE("MaskedNeighborMax.bwd");
-      Tensor grad = Tensor::Zeros(parent->value.shape());
-      const float* gv = self->grad.data().data();
-      float* out_grad = grad.mutable_data().data();
-      const int* am = argmax.data();
-      // The scatter grad(j, c) += g(i, c) races across rows i but never
-      // across feature columns, so parallelise over c: each column is
-      // owned by one chunk and keeps the serial i-ascending order.
-      const int64_t grain = std::max<int64_t>(1, 2048 / std::max(n, 1));
-      common::ParallelFor(0, f, grain, [&](int64_t cb, int64_t ce) {
-        for (int64_t c = cb; c < ce; ++c) {
-          for (int i = 0; i < n; ++i) {
-            const int j = am[static_cast<size_t>(i) * f + c];
-            if (j >= 0) {
-              out_grad[static_cast<size_t>(j) * f + c] += gv[i * f + c];
+Variable MaskedNeighborMax(const Variable& h,
+                           std::shared_ptr<const tensor::Csr> pattern) {
+  STGNN_CHECK(h.defined());
+  STGNN_CHECK(pattern != nullptr);
+  STGNN_CHECK_EQ(h.value().ndim(), 2);
+  STGNN_CHECK_EQ(pattern->cols(), h.value().dim(0));
+  const int rows = pattern->rows();
+  const int f = h.value().dim(1);
+  STGNN_TRACE_SCOPE("MaskedNeighborMax");
+  STGNN_COUNTER_INC("op.sparse_neighbor_max");
+  STGNN_COUNTER_ADD("op.sparse_neighbor_max.nnz", pattern->nnz());
+
+  Tensor out({rows, f});
+  std::vector<int> argmax(static_cast<size_t>(rows) * f, -1);
+  {
+    const float* hv = h.value().data().data();
+    const int* rp = pattern->row_ptr().data();
+    const int* ci = pattern->col_idx().data();
+    float* ov = out.mutable_data().data();
+    int* am = argmax.data();
+    const int64_t cost_per_row =
+        (pattern->nnz() / std::max(rows, 1) + 1) * static_cast<int64_t>(f);
+    common::ParallelFor(0, rows, common::GrainFor(rows, cost_per_row),
+                        [&](int64_t ib, int64_t ie) {
+      // Per-chunk running max/argmax rows, reused across the chunk. The
+      // neighbour list is ascending in j — the order the dense scan visits
+      // surviving candidates — and each element updates independently, so
+      // values and argmaxes match the dense path exactly (strict > keeps
+      // the first of tied maxima in both).
+      std::vector<float> best(f);
+      std::vector<int> best_j(f);
+      for (int64_t i = ib; i < ie; ++i) {
+        std::fill(best.begin(), best.end(),
+                  -std::numeric_limits<float>::infinity());
+        std::fill(best_j.begin(), best_j.end(), -1);
+        for (int e = rp[i]; e < rp[i + 1]; ++e) {
+          const int j = ci[e];
+          const float* hrow = hv + static_cast<size_t>(j) * f;
+          for (int c = 0; c < f; ++c) {
+            if (hrow[c] > best[c]) {
+              best[c] = hrow[c];
+              best_j[c] = j;
             }
           }
         }
-      });
-      parent->AccumulateGrad(grad);
-    };
+        for (int c = 0; c < f; ++c) {
+          ov[i * f + c] = best_j[c] >= 0 ? best[c] : 0.0f;
+          am[i * f + c] = best_j[c];
+        }
+      }
+    });
   }
-  return Variable::FromNode(node);
+  return MakeNeighborMaxNode(h, std::move(out), std::move(argmax), rows, f);
 }
 
 FlowGnnLayer::FlowGnnLayer(int feature_dim, common::Rng* rng, bool self_term,
@@ -102,15 +173,20 @@ FlowGnnLayer::FlowGnnLayer(int feature_dim, common::Rng* rng, bool self_term,
                     : nn::XavierUniform2d(feature_dim, feature_dim, rng));
 }
 
-Variable FlowGnnLayer::Forward(const Variable& features,
-                               const Variable& flow_weights) const {
+Variable FlowGnnLayer::Forward(
+    const Variable& features, const Variable& flow_weights,
+    const std::shared_ptr<const tensor::Csr>& pattern) const {
   STGNN_TRACE_SCOPE("FlowGnn.Forward");
   STGNN_COUNTER_INC("op.flow_gnn_layer");
   // Eq. (13)-(14): the aggregate runs over {F_i} ∪ {neighbours}; the node's
   // own features enter alongside the flow-weighted sum (the E_f self-loop
   // weight alone can be arbitrarily small, which would starve the layer of
-  // its own signal).
-  Variable aggregated = ag::MatMul(flow_weights, features);
+  // its own signal). The flow weights are zero off the edge set (Eq. (10)
+  // masks before normalising), so reading them through the pattern loses
+  // nothing.
+  Variable aggregated =
+      pattern ? ag::SparseMatMul(flow_weights, features, pattern)
+              : ag::MatMul(flow_weights, features);
   if (self_term_) aggregated = ag::Add(aggregated, features);
   return ag::Relu(ag::MatMul(aggregated, weight_));
 }
@@ -120,14 +196,32 @@ MeanGnnLayer::MeanGnnLayer(int feature_dim, common::Rng* rng) {
                               nn::NearIdentity(feature_dim, 0.25f, rng));
 }
 
-Variable MeanGnnLayer::Forward(const Variable& features,
-                               const Tensor& edge_mask) const {
+Variable MeanGnnLayer::Forward(
+    const Variable& features, const Tensor& edge_mask,
+    const std::shared_ptr<const tensor::Csr>& pattern) const {
   STGNN_TRACE_SCOPE("MeanGnn.Forward");
+  if (pattern) {
+    // Sparse path: 1/degree at each stored edge. degree is the row's nnz
+    // count as a float — exactly what the dense path's ascending-order sum
+    // of 0/1 mask entries produces — and 1.0f/degree is the same quotient
+    // the dense row normalisation stores, so the SpMM below is
+    // bit-identical to the dense MatMul.
+    const auto& rp = pattern->row_ptr();
+    std::vector<float> vals(static_cast<size_t>(pattern->nnz()));
+    for (int i = 0; i < pattern->rows(); ++i) {
+      const float degree = static_cast<float>(rp[i + 1] - rp[i]);
+      for (int e = rp[i]; e < rp[i + 1]; ++e) vals[e] = 1.0f / degree;
+    }
+    auto mean_weights = std::make_shared<const tensor::Csr>(
+        pattern->WithValues(std::move(vals)));
+    Variable aggregated = ag::SparseMatMul(std::move(mean_weights), features);
+    return ag::Relu(ag::MatMul(aggregated, weight_));
+  }
   // Row-normalised mask = elementwise mean over the neighbour set.
   const int n = edge_mask.dim(0);
   Tensor mean_weights = edge_mask;
   float* mw = mean_weights.mutable_data().data();
-  common::ParallelFor(0, n, std::max<int64_t>(1, 2048 / std::max(n, 1)),
+  common::ParallelFor(0, n, common::GrainFor(n, n),
                       [&](int64_t ib, int64_t ie) {
     for (int64_t i = ib; i < ie; ++i) {
       float* row = mw + i * n;
@@ -149,11 +243,13 @@ MaxGnnLayer::MaxGnnLayer(int feature_dim, common::Rng* rng) {
                               nn::NearIdentity(feature_dim, 0.25f, rng));
 }
 
-Variable MaxGnnLayer::Forward(const Variable& features,
-                              const Tensor& edge_mask) const {
+Variable MaxGnnLayer::Forward(
+    const Variable& features, const Tensor& edge_mask,
+    const std::shared_ptr<const tensor::Csr>& pattern) const {
   STGNN_TRACE_SCOPE("MaxGnn.Forward");
   Variable pooled = ag::Relu(ag::MatMul(features, pool_weight_));
-  Variable aggregated = MaskedNeighborMax(pooled, edge_mask);
+  Variable aggregated = pattern ? MaskedNeighborMax(pooled, pattern)
+                                : MaskedNeighborMax(pooled, edge_mask);
   return ag::Relu(ag::MatMul(aggregated, weight_));
 }
 

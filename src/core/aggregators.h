@@ -1,6 +1,7 @@
 #ifndef STGNN_CORE_AGGREGATORS_H_
 #define STGNN_CORE_AGGREGATORS_H_
 
+#include <memory>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -16,16 +17,34 @@ namespace stgnn::core {
 autograd::Variable MaskedNeighborMax(const autograd::Variable& h,
                                      const tensor::Tensor& mask);
 
+// Sparse variant: the candidate set per row comes from the CSR pattern's
+// neighbour lists instead of a full-row mask scan, so the cost is
+// O(nnz · f) rather than O(n² · f). Column indices are ascending within a
+// row, matching the dense scan order, so forward values, argmaxes, and the
+// backward scatter are bit-identical to the dense path on the same edge
+// set. The pattern must outlive the backward pass.
+autograd::Variable MaskedNeighborMax(
+    const autograd::Variable& h,
+    std::shared_ptr<const tensor::Csr> pattern);
+
 // One GNN layer with the paper's flow-based aggregator (Eq. (13)-(14)):
 // F^k = ReLU((E_f F^{k-1}) W^k), where E_f are the FCG edge weights of
 // Eq. (10) (differentiable, supplied per slot).
+//
+// All three FCG-capable layers take an optional CSR `pattern` of the slot's
+// edge mask: when non-null the aggregation runs on the sparse kernels
+// (SpMM / sparse neighbour max), which are bit-identical to the dense path
+// on the same edge set. FcgBranch makes the dense/sparse call per slot from
+// the measured edge density (StgnnConfig::sparse_density_threshold).
 class FlowGnnLayer : public nn::Module {
  public:
   FlowGnnLayer(int feature_dim, common::Rng* rng, bool self_term = true,
                bool near_identity = true);
 
-  autograd::Variable Forward(const autograd::Variable& features,
-                             const autograd::Variable& flow_weights) const;
+  autograd::Variable Forward(
+      const autograd::Variable& features,
+      const autograd::Variable& flow_weights,
+      const std::shared_ptr<const tensor::Csr>& pattern = nullptr) const;
 
  private:
   bool self_term_;
@@ -37,8 +56,9 @@ class MeanGnnLayer : public nn::Module {
  public:
   MeanGnnLayer(int feature_dim, common::Rng* rng);
 
-  autograd::Variable Forward(const autograd::Variable& features,
-                             const tensor::Tensor& edge_mask) const;
+  autograd::Variable Forward(
+      const autograd::Variable& features, const tensor::Tensor& edge_mask,
+      const std::shared_ptr<const tensor::Csr>& pattern = nullptr) const;
 
  private:
   autograd::Variable weight_;
@@ -50,8 +70,9 @@ class MaxGnnLayer : public nn::Module {
  public:
   MaxGnnLayer(int feature_dim, common::Rng* rng);
 
-  autograd::Variable Forward(const autograd::Variable& features,
-                             const tensor::Tensor& edge_mask) const;
+  autograd::Variable Forward(
+      const autograd::Variable& features, const tensor::Tensor& edge_mask,
+      const std::shared_ptr<const tensor::Csr>& pattern = nullptr) const;
 
  private:
   autograd::Variable pool_weight_;

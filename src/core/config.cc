@@ -1,6 +1,17 @@
 #include "core/config.h"
 
+#include <cstdlib>
+
 namespace stgnn::core {
+
+float DefaultSparseDensityThreshold() {
+  if (const char* env = std::getenv("STGNN_SPARSE_DENSITY")) {
+    char* end = nullptr;
+    const float parsed = std::strtof(env, &end);
+    if (end != env) return parsed;
+  }
+  return 0.25f;
+}
 
 const char* AggregatorToString(Aggregator aggregator) {
   switch (aggregator) {

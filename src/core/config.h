@@ -18,6 +18,13 @@ enum class Aggregator {
 
 const char* AggregatorToString(Aggregator aggregator);
 
+// Default for StgnnConfig::sparse_density_threshold: the
+// STGNN_SPARSE_DENSITY environment variable when set (0 disables the
+// sparse path, 1 forces it for any FCG), else 0.25 — around where the
+// bench_baseline density sweep puts the sparse-vs-dense crossover for the
+// CSR aggregation kernels.
+float DefaultSparseDensityThreshold();
+
 // Ablation switches matching the paper's "design variations" (Fig. 4).
 struct AblationFlags {
   bool use_flow_convolution = true;  // "No FC" when false: node features are
@@ -52,6 +59,13 @@ struct StgnnConfig {
   // common::SetNumThreads). 0 keeps the global default (STGNN_NUM_THREADS
   // env var, else hardware concurrency); 1 forces the fully serial path.
   int num_threads = 0;
+  // FCG aggregation runs on the sparse CSR kernels when the slot's edge
+  // density (edges / n², self-loops included) is strictly below this, and
+  // on the dense kernels otherwise. Both paths are bit-identical, so the
+  // threshold is purely a performance knob. Defaults to 0.25, overridable
+  // with the STGNN_SPARSE_DENSITY environment variable; <= 0 disables the
+  // sparse path entirely.
+  float sparse_density_threshold = DefaultSparseDensityThreshold();
   // Prediction horizon in slots. 1 reproduces the paper's setting; larger
   // values implement the multi-step extension sketched in the paper's
   // future work (Section IX): the output layer emits

@@ -1,5 +1,10 @@
 #include "core/graph_generator.h"
 
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
 namespace stgnn::core {
 
 using autograd::Variable;
@@ -27,6 +32,8 @@ FlowConvolutedGraph BuildFlowConvolutedGraph(
     }
   }
   graph.edge_mask = mask;
+  graph.edge_csr =
+      std::make_shared<const tensor::Csr>(tensor::Csr::FromDense(mask));
 
   // Eq. (10): E_f(i, j) = T(i, j) / sum_k T(i, k) over the edge set. ReLU
   // keeps weights non-negative; epsilon guards empty rows.
@@ -38,9 +45,20 @@ FlowConvolutedGraph BuildFlowConvolutedGraph(
   return graph;
 }
 
-Tensor DensePatternMask(int num_stations) {
+const Tensor& DensePatternMask(int num_stations) {
   STGNN_CHECK_GT(num_stations, 0);
-  return Tensor::Ones({num_stations, num_stations});
+  // Leaked cache (matches the trace/counter registries: pool workers may
+  // still read during static destruction). std::map nodes are stable, so
+  // handing out references under the lock is safe across later inserts.
+  static std::mutex* mu = new std::mutex;
+  static std::map<int, Tensor>* cache = new std::map<int, Tensor>;
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = cache->find(num_stations);
+  if (it == cache->end()) {
+    it = cache->emplace(num_stations,
+                        Tensor::Ones({num_stations, num_stations})).first;
+  }
+  return it->second;
 }
 
 }  // namespace stgnn::core

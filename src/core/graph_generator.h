@@ -1,7 +1,10 @@
 #ifndef STGNN_CORE_GRAPH_GENERATOR_H_
 #define STGNN_CORE_GRAPH_GENERATOR_H_
 
+#include <memory>
+
 #include "autograd/ops.h"
+#include "tensor/csr.h"
 
 namespace stgnn::core {
 
@@ -10,6 +13,11 @@ struct FlowConvolutedGraph {
   // 0/1 edge mask: mask(i, j) = 1 iff edge j -> i exists, i.e. Î(i,j) > 0 or
   // Ô(j,i) > 0, plus self-loops (Eq. (13) aggregates the node itself).
   tensor::Tensor edge_mask;  // [n, n]
+  // CSR view of the edge mask (values are the 1s), built once per slot and
+  // shared by every GNN layer of the slot: the sparse aggregation kernels
+  // (ag::SparseMatMul, the CSR MaskedNeighborMax) read the topology from
+  // here. Its density() drives the dense/sparse dispatch in FcgBranch.
+  std::shared_ptr<const tensor::Csr> edge_csr;
   // Differentiable edge weights per Eq. (10): node features masked to the
   // edge set and row-normalised. ReLU is applied first so weights are
   // non-negative (T itself is a linear projection and may go negative; the
@@ -29,9 +37,12 @@ FlowConvolutedGraph BuildFlowConvolutedGraph(
 // The pattern correlation graph (paper Definition 3) is fully dense: every
 // pair of stations gets an attention-derived weight, recomputed inside each
 // attention aggregator layer (Eq. (15)-(16)). Its "generation" therefore
-// needs no precomputation beyond the node features; this constant returns
-// the dense mask used by mean/max PCG aggregator variants.
-tensor::Tensor DensePatternMask(int num_stations);
+// needs no precomputation beyond the node features; this returns the dense
+// mask used by mean/max PCG aggregator variants. Memoised per station
+// count (the all-ones matrix never changes), so repeated forwards share
+// one allocation; the returned reference stays valid for the process
+// lifetime.
+const tensor::Tensor& DensePatternMask(int num_stations);
 
 }  // namespace stgnn::core
 

@@ -18,8 +18,10 @@ namespace ag = stgnn::autograd;
 using tensor::Tensor;
 
 FcgBranch::FcgBranch(int feature_dim, int num_layers, Aggregator aggregator,
-                     common::Rng* rng, bool self_term, bool near_identity)
-    : aggregator_(aggregator) {
+                     common::Rng* rng, bool self_term, bool near_identity,
+                     float sparse_density_threshold)
+    : aggregator_(aggregator),
+      sparse_density_threshold_(sparse_density_threshold) {
   STGNN_CHECK_GT(num_layers, 0);
   STGNN_CHECK(aggregator != Aggregator::kAttention)
       << "attention aggregator belongs to the PCG branch";
@@ -46,21 +48,29 @@ FcgBranch::FcgBranch(int feature_dim, int num_layers, Aggregator aggregator,
 
 Variable FcgBranch::Forward(const Variable& features,
                             const FlowConvolutedGraph& graph) const {
+  // One density check covers all K layers: the CSR view is built once per
+  // slot by BuildFlowConvolutedGraph and shared here. Null `pattern` keeps
+  // every layer on the dense kernels.
+  const bool sparse =
+      graph.edge_csr != nullptr &&
+      graph.edge_csr->density() < sparse_density_threshold_;
+  const std::shared_ptr<const tensor::Csr> pattern =
+      sparse ? graph.edge_csr : nullptr;
   Variable h = features;
   switch (aggregator_) {
     case Aggregator::kFlow:
       for (const auto& layer : flow_layers_) {
-        h = layer->Forward(h, graph.weights);
+        h = layer->Forward(h, graph.weights, pattern);
       }
       break;
     case Aggregator::kMean:
       for (const auto& layer : mean_layers_) {
-        h = layer->Forward(h, graph.edge_mask);
+        h = layer->Forward(h, graph.edge_mask, pattern);
       }
       break;
     case Aggregator::kMax:
       for (const auto& layer : max_layers_) {
-        h = layer->Forward(h, graph.edge_mask);
+        h = layer->Forward(h, graph.edge_mask, pattern);
       }
       break;
     case Aggregator::kAttention:
@@ -99,7 +109,7 @@ PcgBranch::PcgBranch(int feature_dim, int num_layers, int num_heads,
 
 Variable PcgBranch::Forward(const Variable& features) const {
   Variable h = features;
-  const Tensor dense = DensePatternMask(feature_dim_);
+  const Tensor& dense = DensePatternMask(feature_dim_);
   switch (aggregator_) {
     case Aggregator::kAttention:
       for (const auto& layer : attention_layers_) h = layer->Forward(h);
@@ -139,7 +149,8 @@ StgnnDjdModel::StgnnDjdModel(int num_stations, const StgnnConfig& config,
   if (config_.ablation.use_fcg) {
     fcg_branch_ = std::make_unique<FcgBranch>(
         n, config_.fcg_layers, config_.fcg_aggregator, rng,
-        config_.aggregator_self_term, config_.near_identity_init);
+        config_.aggregator_self_term, config_.near_identity_init,
+        config_.sparse_density_threshold);
     RegisterSubmodule(fcg_branch_.get());
   }
   if (config_.ablation.use_pcg) {

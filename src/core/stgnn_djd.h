@@ -16,18 +16,22 @@ namespace stgnn::core {
 
 // Stack of GNN layers over the flow-convoluted graph, with the aggregator
 // selected by configuration (flow for the paper's model; mean/max for the
-// Fig. 5 study).
+// Fig. 5 study). When the slot's edge density is strictly below
+// `sparse_density_threshold`, aggregation dispatches to the CSR kernels
+// (bit-identical to the dense path); <= 0 disables the sparse path.
 class FcgBranch : public nn::Module {
  public:
   FcgBranch(int feature_dim, int num_layers, Aggregator aggregator,
             common::Rng* rng, bool self_term = true,
-            bool near_identity = true);
+            bool near_identity = true,
+            float sparse_density_threshold = 0.0f);
 
   autograd::Variable Forward(const autograd::Variable& features,
                              const FlowConvolutedGraph& graph) const;
 
  private:
   Aggregator aggregator_;
+  float sparse_density_threshold_;
   std::vector<std::unique_ptr<FlowGnnLayer>> flow_layers_;
   std::vector<std::unique_ptr<MeanGnnLayer>> mean_layers_;
   std::vector<std::unique_ptr<MaxGnnLayer>> max_layers_;

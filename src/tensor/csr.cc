@@ -1,0 +1,157 @@
+#include "tensor/csr.h"
+
+#include <cmath>
+
+#include "common/counters.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace stgnn::tensor {
+
+Csr Csr::FromDense(const Tensor& dense, float threshold) {
+  STGNN_CHECK_EQ(dense.ndim(), 2);
+  STGNN_CHECK_GE(threshold, 0.0f);
+  const int rows = dense.dim(0);
+  const int cols = dense.dim(1);
+  Csr out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.assign(1, 0);
+  out.row_ptr_.reserve(rows + 1);
+  const float* d = dense.data().data();
+  for (int i = 0; i < rows; ++i) {
+    const float* row = d + static_cast<size_t>(i) * cols;
+    for (int j = 0; j < cols; ++j) {
+      if (std::fabs(row[j]) > threshold) {
+        out.col_idx_.push_back(j);
+        out.values_.push_back(row[j]);
+      }
+    }
+    out.row_ptr_.push_back(static_cast<int>(out.col_idx_.size()));
+  }
+  return out;
+}
+
+float Csr::density() const {
+  const int64_t total = static_cast<int64_t>(rows_) * cols_;
+  if (total == 0) return 0.0f;
+  return static_cast<float>(nnz()) / static_cast<float>(total);
+}
+
+Tensor Csr::ToDense() const {
+  Tensor out({rows_, cols_});
+  float* d = out.mutable_data().data();
+  for (int i = 0; i < rows_; ++i) {
+    for (int e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      d[static_cast<size_t>(i) * cols_ + col_idx_[e]] = values_[e];
+    }
+  }
+  return out;
+}
+
+Csr Csr::WithValues(std::vector<float> values) const {
+  STGNN_CHECK_EQ(static_cast<int64_t>(values.size()), nnz());
+  Csr out = *this;
+  out.values_ = std::move(values);
+  return out;
+}
+
+Csr Csr::Transposed(const std::vector<float>& values) const {
+  STGNN_CHECK_EQ(static_cast<int64_t>(values.size()), nnz());
+  Csr out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.row_ptr_.assign(cols_ + 1, 0);
+  out.col_idx_.resize(col_idx_.size());
+  out.values_.resize(values.size());
+  // Counting sort by column: a row-major walk scatters each entry into its
+  // column bucket, so within a transposed row the (new) column indices come
+  // out in ascending original-row order.
+  for (int j : col_idx_) ++out.row_ptr_[j + 1];
+  for (int j = 0; j < cols_; ++j) out.row_ptr_[j + 1] += out.row_ptr_[j];
+  std::vector<int> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (int i = 0; i < rows_; ++i) {
+    for (int e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      const int slot = cursor[col_idx_[e]]++;
+      out.col_idx_[slot] = i;
+      out.values_[slot] = values[e];
+    }
+  }
+  return out;
+}
+
+std::vector<float> Csr::GatherValues(const Tensor& dense) const {
+  STGNN_CHECK_EQ(dense.ndim(), 2);
+  STGNN_CHECK_EQ(dense.dim(0), rows_);
+  STGNN_CHECK_EQ(dense.dim(1), cols_);
+  std::vector<float> out(col_idx_.size());
+  const float* d = dense.data().data();
+  for (int i = 0; i < rows_; ++i) {
+    const float* row = d + static_cast<size_t>(i) * cols_;
+    for (int e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      out[e] = row[col_idx_[e]];
+    }
+  }
+  return out;
+}
+
+Tensor SpMM(const Csr& pattern, const std::vector<float>& values,
+            const Tensor& x) {
+  STGNN_CHECK_EQ(x.ndim(), 2);
+  STGNN_CHECK_EQ(x.dim(0), pattern.cols());
+  STGNN_CHECK_EQ(static_cast<int64_t>(values.size()), pattern.nnz());
+  const int m = pattern.rows();
+  const int f = x.dim(1);
+  STGNN_TRACE_SCOPE("SpMM");
+  STGNN_COUNTER_INC("op.spmm");
+  STGNN_COUNTER_ADD("op.spmm.nnz", pattern.nnz());
+  Tensor out({m, f});
+  if (m == 0 || f == 0) return out;
+  const int* rp = pattern.row_ptr().data();
+  const int* ci = pattern.col_idx().data();
+  const float* vals = values.data();
+  const float* px = x.data().data();
+  float* po = out.mutable_data().data();
+  const int64_t cost_per_row =
+      (pattern.nnz() / std::max(m, 1) + 1) * static_cast<int64_t>(f);
+  common::ParallelFor(
+      0, m, common::GrainFor(m, cost_per_row), [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          float* orow = po + i * f;
+          const int begin = rp[i];
+          const int end = rp[i + 1];
+          int e = begin;
+          // 4 entries at a time: one load/store of the accumulator row
+          // serves four scaled adds. The per-element accumulation stays in
+          // ascending-column order (the four adds are sequenced), so the
+          // result matches the one-at-a-time path and dense MatMul bit for
+          // bit.
+          for (; e + 4 <= end; e += 4) {
+            const float v0 = vals[e + 0];
+            const float v1 = vals[e + 1];
+            const float v2 = vals[e + 2];
+            const float v3 = vals[e + 3];
+            const float* x0 = px + static_cast<size_t>(ci[e + 0]) * f;
+            const float* x1 = px + static_cast<size_t>(ci[e + 1]) * f;
+            const float* x2 = px + static_cast<size_t>(ci[e + 2]) * f;
+            const float* x3 = px + static_cast<size_t>(ci[e + 3]) * f;
+            for (int c = 0; c < f; ++c) {
+              float acc = orow[c];
+              acc += v0 * x0[c];
+              acc += v1 * x1[c];
+              acc += v2 * x2[c];
+              acc += v3 * x3[c];
+              orow[c] = acc;
+            }
+          }
+          for (; e < end; ++e) {
+            const float v = vals[e];
+            const float* xrow = px + static_cast<size_t>(ci[e]) * f;
+            for (int c = 0; c < f; ++c) orow[c] += v * xrow[c];
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace stgnn::tensor

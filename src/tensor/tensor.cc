@@ -29,8 +29,8 @@ std::vector<int64_t> ComputeStrides(const Shape& shape) {
 constexpr int64_t kElementGrain = 16384;
 
 // Rows per chunk targeting roughly kElementGrain elements of work.
-inline int64_t RowGrain(int64_t cols, int64_t target = kElementGrain) {
-  return std::max<int64_t>(1, target / std::max<int64_t>(cols, 1));
+inline int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kElementGrain / std::max<int64_t>(cols, 1));
 }
 
 }  // namespace
@@ -704,7 +704,7 @@ Tensor RowSoftmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* src = a.data().data();
   float* dst = out.mutable_data().data();
-  common::ParallelFor(0, rows, RowGrain(cols, 2048),
+  common::ParallelFor(0, rows, common::GrainFor(rows, cols),
                       [&](int64_t ib, int64_t ie) {
     for (int64_t i = ib; i < ie; ++i) {
       const float* in_row = src + i * cols;

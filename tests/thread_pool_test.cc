@@ -121,6 +121,19 @@ TEST(ThreadPoolTest, GlobalPoolResize) {
   SetNumThreads(initial);
 }
 
+TEST(ThreadPoolTest, GrainForTargetsConstantWorkPerChunk) {
+  // ~2048 scalar ops per chunk, clamped to [1, items]. Depends only on the
+  // per-item cost, never on the thread count, so the chunk decomposition
+  // (and therefore kernel output) stays thread-count invariant.
+  EXPECT_EQ(GrainFor(1000000, 1), 2048);
+  EXPECT_EQ(GrainFor(1000000, 2048), 1);
+  EXPECT_EQ(GrainFor(1000000, 1000000), 1);  // grain never drops below 1
+  EXPECT_EQ(GrainFor(4, 1), 4);              // nor exceeds the item count
+  EXPECT_EQ(GrainFor(0, 7), 2048 / 7);  // empty range: clamp is a no-op
+  EXPECT_EQ(GrainFor(100, 0), 2048 >= 100 ? 100 : 2048);  // cost clamps to 1
+  EXPECT_EQ(GrainFor(1000000, 100), 20);
+}
+
 TEST(ThreadPoolTest, NumChunksMatchesDecomposition) {
   EXPECT_EQ(NumChunks(0, 0, 4), 0);
   EXPECT_EQ(NumChunks(0, 1, 4), 1);

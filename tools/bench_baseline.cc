@@ -1,7 +1,8 @@
 // Kernel benchmark baseline recorder.
 //
 // Times the hot kernels (MatMul, row softmax, masked-neighbour-max, the
-// attention aggregator's full forward/backward step) at 1/2/4/N kernel
+// attention aggregator's full forward/backward step, and the dense-vs-CSR
+// density sweep behind the sparse dispatch threshold) at 1/2/4/N kernel
 // threads and writes BENCH_kernels.json: ns/op and items/s per kernel per
 // thread count, alongside the recorded seed (pre-parallelisation, -O2,
 // single-thread) numbers so every future PR's perf claims are checkable
@@ -22,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/aggregators.h"
+#include "tensor/csr.h"
 #include "tensor/tensor.h"
 
 namespace stgnn {
@@ -133,6 +136,52 @@ void MeasureKernels(int threads, std::vector<Measurement>* out) {
     });
     out->push_back({"masked_neighbor_max_" + std::to_string(n), threads, ns,
                     static_cast<double>(n) * n});
+  }
+  // Dense-vs-CSR density sweep: the same FCG-style aggregation (weights
+  // with ~d% random edges plus self-loops against [n, n] features) timed on
+  // both execution paths. The sparse/dense ratio at each point is what
+  // StgnnConfig::sparse_density_threshold is calibrated against.
+  for (int n : {128, 256, 512}) {
+    for (int density : {5, 10, 25, 50}) {
+      Tensor mask = tensor::Tensor::Zeros({n, n});
+      for (int i = 0; i < n; ++i) {
+        mask.at(i, i) = 1.0f;
+        for (int j = 0; j < n; ++j) {
+          if (rng.Uniform() < density / 100.0) mask.at(i, j) = 1.0f;
+        }
+      }
+      const tensor::Csr csr = tensor::Csr::FromDense(mask);
+      const Tensor x = Tensor::RandomNormal({n, n}, 0, 1, &rng);
+      const auto pattern = std::make_shared<const tensor::Csr>(csr);
+      Variable hv = Variable::Constant(x);
+      const std::string suffix =
+          "_n" + std::to_string(n) + "_d" + std::to_string(density);
+      volatile float sink = 0;
+      double ns = TimeNs([&] {
+        Tensor c = tensor::MatMul(mask, x);
+        sink = sink + c.flat(0);
+      });
+      out->push_back({"spmm_dense" + suffix, threads, ns,
+                      static_cast<double>(n) * n * n});
+      ns = TimeNs([&] {
+        Tensor c = tensor::SpMM(csr, x);
+        sink = sink + c.flat(0);
+      });
+      out->push_back({"spmm_sparse" + suffix, threads, ns,
+                      static_cast<double>(csr.nnz()) * n});
+      ns = TimeNs([&] {
+        Variable o = core::MaskedNeighborMax(hv, mask);
+        sink = sink + o.value().flat(0);
+      });
+      out->push_back({"neighbor_max_dense" + suffix, threads, ns,
+                      static_cast<double>(n) * n});
+      ns = TimeNs([&] {
+        Variable o = core::MaskedNeighborMax(hv, pattern);
+        sink = sink + o.value().flat(0);
+      });
+      out->push_back({"neighbor_max_sparse" + suffix, threads, ns,
+                      static_cast<double>(n) * n});
+    }
   }
   for (int n : {24, 50}) {
     core::AttentionGnnLayer layer(n, 4, &rng);
