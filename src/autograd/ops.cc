@@ -23,7 +23,7 @@ constexpr int64_t kGradGrain = 16384;
 // Elementwise local gradient g[i] = fn(x[i], y[i]) over the pool.
 template <typename Fn>
 Tensor ElementwiseLocalGrad(const Tensor& x, const Tensor& y, Fn fn) {
-  Tensor g(x.shape());
+  Tensor g = Tensor::Uninitialized(x.shape());
   float* gd = g.mutable_data().data();
   const float* xd = x.data().data();
   const float* yd = y.data().data();
@@ -234,6 +234,89 @@ Variable MulScalar(const Variable& a, float s) {
   return Variable::FromNode(node);
 }
 
+namespace {
+
+// True when `v` is an exclusively-owned interior temporary whose value
+// buffer can be stolen for an in-place op: only the argument itself holds
+// the node (so no other Variable can observe the mutation) and the node is
+// an op output, not a leaf the user might read later.
+bool StealableTemp(const Variable& v) {
+  return v.node().use_count() == 1 && v.node()->backward_fn != nullptr;
+}
+
+// Moves the value buffer out of `v`'s node (leaving it hollow — shape
+// intact, storage released) into a standalone tensor.
+Tensor StealValue(const Variable& v) {
+  Node* node = v.node().get();
+  STGNN_COUNTER_INC("autograd.inplace_steals");
+  return Tensor(node->value.shape(), std::move(node->value.mutable_data()));
+}
+
+}  // namespace
+
+Variable AddInPlace(Variable a, const Variable& b) {
+  STGNN_CHECK(a.defined() && b.defined());
+  if (!StealableTemp(a) ||
+      tensor::BroadcastShapes(a.value().shape(), b.value().shape()) !=
+          a.value().shape()) {
+    return Add(a, b);
+  }
+  Tensor value = StealValue(a);
+  tensor::AddInPlace(&value, b.value());
+  auto node = MakeNode(std::move(value), {a, b});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    Node* pb = b.node().get();
+    node->backward_fn = [self, pa, pb]() {
+      if (pa->requires_grad) pa->AccumulateGrad(self->grad);
+      if (pb->requires_grad) pb->AccumulateGrad(self->grad);
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable ReluInPlace(Variable a) {
+  STGNN_CHECK(a.defined());
+  if (!StealableTemp(a)) return Relu(a);
+  Tensor value = StealValue(a);
+  tensor::ReluInPlace(&value);
+  auto node = MakeNode(std::move(value), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa]() {
+      // y > 0 iff x > 0, so the output alone determines the local gradient
+      // (the input value was stolen).
+      pa->AccumulateGrad(ElementwiseLocalGrad(
+          self->grad, self->value,
+          [](float g, float y) { return y > 0.0f ? g : 0.0f; }));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
+Variable EluInPlace(Variable a, float alpha) {
+  STGNN_CHECK(a.defined());
+  if (!StealableTemp(a)) return Elu(a, alpha);
+  Tensor value = StealValue(a);
+  tensor::EluInPlace(&value, alpha);
+  auto node = MakeNode(std::move(value), {a});
+  if (node->requires_grad) {
+    Node* self = node.get();
+    Node* pa = a.node().get();
+    node->backward_fn = [self, pa, alpha]() {
+      // x > 0 iff y > 0, and for x <= 0 the derivative alpha*exp(x) equals
+      // y + alpha, so the output alone determines the local gradient.
+      pa->AccumulateGrad(ElementwiseLocalGrad(
+          self->grad, self->value, [alpha](float g, float y) {
+            return y > 0.0f ? g : g * (y + alpha);
+          }));
+    };
+  }
+  return Variable::FromNode(node);
+}
+
 Variable MatMul(const Variable& a, const Variable& b) {
   auto node = MakeNode(tensor::MatMul(a.value(), b.value()), {a, b});
   if (node->requires_grad) {
@@ -396,7 +479,8 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
                            : [&] {
                                // Column slice of a 2-D gradient.
                                const int rows = self->grad.dim(0);
-                               Tensor out({rows, extent});
+                               Tensor out = Tensor::Uninitialized(
+                                   {rows, extent});
                                for (int i = 0; i < rows; ++i) {
                                  for (int j = 0; j < extent; ++j) {
                                    out.at(i, j) = self->grad.at(i, offset + j);
@@ -404,7 +488,7 @@ Variable Concat(const std::vector<Variable>& parts, int axis) {
                                }
                                return out;
                              }();
-        if (parent->requires_grad) parent->AccumulateGrad(slice);
+        if (parent->requires_grad) parent->AccumulateGrad(std::move(slice));
         offset += extent;
       }
     };
@@ -425,7 +509,7 @@ Variable SliceRows(const Variable& a, int begin, int end) {
       auto& s = scatter.mutable_data();
       std::copy(g.begin(), g.end(),
                 s.begin() + static_cast<size_t>(begin * row_size));
-      pa->AccumulateGrad(scatter);
+      pa->AccumulateGrad(std::move(scatter));
     };
   }
   return Variable::FromNode(node);
@@ -476,7 +560,7 @@ Variable RowSoftmax(const Variable& a) {
       const Tensor& g = self->grad;
       const int rows = y.dim(0);
       const int cols = y.dim(1);
-      Tensor dx(y.shape());
+      Tensor dx = Tensor::Uninitialized(y.shape());
       const float* yd = y.data().data();
       const float* gd = g.data().data();
       float* dxd = dx.mutable_data().data();
@@ -493,7 +577,7 @@ Variable RowSoftmax(const Variable& a) {
           }
         }
       });
-      pa->AccumulateGrad(dx);
+      pa->AccumulateGrad(std::move(dx));
     };
   }
   return Variable::FromNode(node);

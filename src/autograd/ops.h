@@ -35,6 +35,24 @@ Variable Tanh(const Variable& a);
 Variable AddScalar(const Variable& a, float s);
 Variable MulScalar(const Variable& a, float s);
 
+// --- In-place variants ---
+// These steal the input's value buffer and mutate it instead of allocating
+// an output, producing bit-identical results to their allocating forms.
+// Contract: `a` must be an exclusively-owned temporary — a Variable whose
+// node is held only by the argument itself (pass with std::move) — and its
+// backward closure must not read its own forward value. MatMul, SpMM, Add
+// and Sub outputs qualify; activation outputs (whose backwards read y) do
+// not. When the exclusivity check fails, or `b` does not broadcast to `a`'s
+// shape, the op silently falls back to the allocating form, so correctness
+// never depends on the contract — only the allocation count does.
+// The in-place activations compute their local gradients from the output
+// alone (for relu, y > 0 iff x > 0; for elu, y > 0 iff x > 0 and the
+// x <= 0 branch equals y + alpha), which is bit-identical to the
+// input-based formulas for all finite inputs.
+Variable AddInPlace(Variable a, const Variable& b);
+Variable ReluInPlace(Variable a);
+Variable EluInPlace(Variable a, float alpha = 1.0f);
+
 // --- Linear algebra / shape ---
 Variable MatMul(const Variable& a, const Variable& b);
 // Y = A·X where A is the dense [m, k] variable `a` read through the fixed

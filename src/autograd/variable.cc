@@ -46,13 +46,31 @@ Tensor ReduceGradToShape(const Tensor& grad, const Shape& target_shape) {
 }
 
 void Node::AccumulateGrad(const Tensor& g) {
-  const Tensor reduced = ReduceGradToShape(g, value.shape());
+  if (g.shape() == value.shape()) {
+    if (!grad_initialized) {
+      grad = g;
+      grad_initialized = true;
+    } else {
+      tensor::AddInPlace(&grad, g);
+    }
+    return;
+  }
+  Tensor reduced = ReduceGradToShape(g, value.shape());
   if (!grad_initialized) {
-    grad = reduced;
+    grad = std::move(reduced);
     grad_initialized = true;
   } else {
-    grad = tensor::Add(grad, reduced);
+    tensor::AddInPlace(&grad, reduced);
   }
+}
+
+void Node::AccumulateGrad(Tensor&& g) {
+  if (g.shape() == value.shape() && !grad_initialized) {
+    grad = std::move(g);
+    grad_initialized = true;
+    return;
+  }
+  AccumulateGrad(static_cast<const Tensor&>(g));
 }
 
 Variable::Variable(Tensor value, bool requires_grad) {
@@ -137,7 +155,7 @@ void TopoSort(const std::shared_ptr<Node>& root,
 
 }  // namespace
 
-void Variable::Backward() const {
+void Variable::Backward(const BackwardOptions& options) const {
   STGNN_CHECK(defined());
   STGNN_CHECK(node_->requires_grad)
       << "Backward() on a variable that does not require grad";
@@ -148,6 +166,19 @@ void Variable::Backward() const {
   TopoSort(node_, &order);
   for (const auto& node : order) {
     if (node->backward_fn && node->grad_initialized) node->backward_fn();
+    // After a node's own backward ran, nothing reads it again: all its
+    // consumers ran earlier (children-first order) and every closure reads
+    // only its parents' values, which sit later in the order. Recycle the
+    // node's buffers now instead of at graph teardown so the next forward
+    // pass can reuse them. Leaves have no backward_fn and the root keeps
+    // its value/grad readable; both are skipped.
+    if (options.release_graph && node->backward_fn && node != node_) {
+      node->value.ReleaseStorage();
+      if (node->grad_initialized) node->grad.ReleaseStorage();
+      node->backward_fn = nullptr;  // frees captured closure state
+      node->parents.clear();
+      STGNN_COUNTER_INC("autograd.nodes_released");
+    }
   }
 }
 

@@ -24,6 +24,22 @@ struct Node {
   // Adds `g` into the gradient buffer, summing over broadcast axes so the
   // stored gradient always matches value.shape().
   void AccumulateGrad(const tensor::Tensor& g);
+  // Move-aware variant: when `g` already has value.shape() and this is the
+  // first accumulation, the buffer is adopted instead of copied. Backward
+  // closures pass their freshly computed gradients here.
+  void AccumulateGrad(tensor::Tensor&& g);
+};
+
+// Options for Variable::Backward().
+struct BackwardOptions {
+  // When true, each interior op node's forward value and gradient buffers
+  // are returned to the buffer pool as soon as the node's own backward
+  // closure has run (its consumers all ran earlier — the traversal is
+  // children-first — and closures only read their parents' values, which
+  // are processed later). The root and leaf nodes are untouched, so loss
+  // values and parameter gradients stay readable. Do not read value()/grad()
+  // of intermediate variables after a release-graph backward.
+  bool release_graph = false;
 };
 
 // Handle to a node in the computation graph. Cheap to copy (shared_ptr).
@@ -53,7 +69,8 @@ class Variable {
 
   // Runs reverse-mode accumulation from this variable. If it is a scalar the
   // seed is 1; otherwise the seed is a tensor of ones (sum of outputs).
-  void Backward() const;
+  void Backward() const { Backward(BackwardOptions{}); }
+  void Backward(const BackwardOptions& options) const;
 
   const std::shared_ptr<Node>& node() const { return node_; }
 

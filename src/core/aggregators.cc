@@ -187,8 +187,10 @@ Variable FlowGnnLayer::Forward(
   Variable aggregated =
       pattern ? ag::SparseMatMul(flow_weights, features, pattern)
               : ag::MatMul(flow_weights, features);
-  if (self_term_) aggregated = ag::Add(aggregated, features);
-  return ag::Relu(ag::MatMul(aggregated, weight_));
+  if (self_term_) {
+    aggregated = ag::AddInPlace(std::move(aggregated), features);
+  }
+  return ag::ReluInPlace(ag::MatMul(aggregated, weight_));
 }
 
 MeanGnnLayer::MeanGnnLayer(int feature_dim, common::Rng* rng) {
@@ -215,7 +217,7 @@ Variable MeanGnnLayer::Forward(
     auto mean_weights = std::make_shared<const tensor::Csr>(
         pattern->WithValues(std::move(vals)));
     Variable aggregated = ag::SparseMatMul(std::move(mean_weights), features);
-    return ag::Relu(ag::MatMul(aggregated, weight_));
+    return ag::ReluInPlace(ag::MatMul(aggregated, weight_));
   }
   // Row-normalised mask = elementwise mean over the neighbour set.
   const int n = edge_mask.dim(0);
@@ -233,7 +235,7 @@ Variable MeanGnnLayer::Forward(
   });
   Variable aggregated =
       ag::MatMul(Variable::Constant(std::move(mean_weights)), features);
-  return ag::Relu(ag::MatMul(aggregated, weight_));
+  return ag::ReluInPlace(ag::MatMul(aggregated, weight_));
 }
 
 MaxGnnLayer::MaxGnnLayer(int feature_dim, common::Rng* rng) {
@@ -247,10 +249,10 @@ Variable MaxGnnLayer::Forward(
     const Variable& features, const Tensor& edge_mask,
     const std::shared_ptr<const tensor::Csr>& pattern) const {
   STGNN_TRACE_SCOPE("MaxGnn.Forward");
-  Variable pooled = ag::Relu(ag::MatMul(features, pool_weight_));
+  Variable pooled = ag::ReluInPlace(ag::MatMul(features, pool_weight_));
   Variable aggregated = pattern ? MaskedNeighborMax(pooled, pattern)
                                 : MaskedNeighborMax(pooled, edge_mask);
-  return ag::Relu(ag::MatMul(aggregated, weight_));
+  return ag::ReluInPlace(ag::MatMul(aggregated, weight_));
 }
 
 AttentionGnnLayer::AttentionGnnLayer(int feature_dim, int num_heads,
@@ -297,7 +299,7 @@ Variable AttentionGnnLayer::Forward(const Variable& features) const {
     Variable projected = ag::MatMul(features, w8_[u]);       // [n, f]
     Variable src = ag::MatMul(projected, a_src_[u]);         // [n, 1]
     Variable dst = ag::Transpose(ag::MatMul(projected, a_dst_[u]));  // [1, n]
-    Variable e = ag::Elu(ag::Add(src, dst));                 // [n, n]
+    Variable e = ag::EluInPlace(ag::Add(src, dst));          // [n, n]
     // Eq. (16): dense softmax over all stations — no locality prior.
     Variable alpha = ag::RowSoftmax(e);
     last_attention_.push_back(alpha.value());
@@ -311,8 +313,10 @@ Variable AttentionGnnLayer::Forward(const Variable& features) const {
     // would smooth every station to the same embedding).
     Variable transformed = ag::MatMul(features, phi_[u]);
     Variable aggregated = ag::MatMul(alpha, transformed);
-    if (self_term_) aggregated = ag::Add(aggregated, transformed);
-    head_outputs.push_back(ag::Elu(aggregated));
+    if (self_term_) {
+      aggregated = ag::AddInPlace(std::move(aggregated), transformed);
+    }
+    head_outputs.push_back(ag::EluInPlace(std::move(aggregated)));
   }
   // Eq. (18): concat heads and project with W10.
   Variable concat = ag::Concat(head_outputs, /*axis=*/1);  // [n, m*f]

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/buffer_pool.h"
+
 namespace stgnn::core {
 
 float DefaultSparseDensityThreshold() {
@@ -12,6 +14,8 @@ float DefaultSparseDensityThreshold() {
   }
   return 0.25f;
 }
+
+bool DefaultBufferPoolEnabled() { return common::BufferPoolEnabledFromEnv(); }
 
 const char* AggregatorToString(Aggregator aggregator) {
   switch (aggregator) {

@@ -25,6 +25,10 @@ const char* AggregatorToString(Aggregator aggregator);
 // CSR aggregation kernels.
 float DefaultSparseDensityThreshold();
 
+// Default for StgnnConfig::buffer_pool: the STGNN_BUFFER_POOL environment
+// variable (0/false/off disables), else true.
+bool DefaultBufferPoolEnabled();
+
 // Ablation switches matching the paper's "design variations" (Fig. 4).
 struct AblationFlags {
   bool use_flow_convolution = true;  // "No FC" when false: node features are
@@ -66,6 +70,12 @@ struct StgnnConfig {
   // with the STGNN_SPARSE_DENSITY environment variable; <= 0 disables the
   // sparse path entirely.
   float sparse_density_threshold = DefaultSparseDensityThreshold();
+  // Routes tensor storage through the process-wide buffer pool
+  // (common::BufferPool) while Train/Predict runs, so a steady-state
+  // training step performs (near-)zero fresh heap allocations. Both modes
+  // are bit-identical; this is purely a performance knob. Defaults to on,
+  // overridable with the STGNN_BUFFER_POOL environment variable.
+  bool buffer_pool = DefaultBufferPoolEnabled();
   // Prediction horizon in slots. 1 reproduces the paper's setting; larger
   // values implement the multi-step extension sketched in the paper's
   // future work (Section IX): the output layer emits

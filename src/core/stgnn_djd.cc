@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/buffer_pool.h"
 #include "common/counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -249,6 +250,7 @@ data::StHistory StgnnDjdPredictor::HistoryAt(const data::FlowDataset& flow,
 void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
   STGNN_TRACE_SCOPE("Train");
   if (config_.num_threads > 0) common::SetNumThreads(config_.num_threads);
+  common::BufferPool::Global()->SetEnabled(config_.buffer_pool);
   common::Rng rng(config_.seed);
   dropout_rng_ = std::make_unique<common::Rng>(rng.NextUint64());
   model_ = std::make_unique<StgnnDjdModel>(flow.num_stations, config_, &rng);
@@ -327,7 +329,9 @@ void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
       }
       batch_loss = ag::MulScalar(batch_loss, 1.0f / (end - begin));
       model_->ZeroGrad();
-      batch_loss.Backward();
+      // Recycle interior graph buffers as each backward closure finishes;
+      // only the loss value and parameter gradients are read afterwards.
+      batch_loss.Backward({.release_graph = true});
       nn::ClipGradNorm(model_->parameters(), config_.grad_clip_norm);
       optimizer.Step();
       epoch_loss += batch_loss.value().item();

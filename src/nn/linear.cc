@@ -23,7 +23,9 @@ Variable Linear::Forward(const Variable& x) const {
   STGNN_CHECK_EQ(x.value().ndim(), 2);
   STGNN_CHECK_EQ(x.value().dim(1), in_features_);
   Variable out = autograd::MatMul(x, weight_);
-  if (bias_.defined()) out = autograd::Add(out, bias_);
+  // The MatMul output is an exclusively owned temporary, so the bias add
+  // can reuse its buffer.
+  if (bias_.defined()) out = autograd::AddInPlace(std::move(out), bias_);
   return out;
 }
 
@@ -40,7 +42,7 @@ Variable Mlp::Forward(const Variable& x) const {
   Variable h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = autograd::Relu(h);
+    if (i + 1 < layers_.size()) h = autograd::ReluInPlace(std::move(h));
   }
   return h;
 }

@@ -2,10 +2,19 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace stgnn::nn {
 
 using autograd::Variable;
 using tensor::Tensor;
+
+namespace {
+
+// Grain matching the tensor library's elementwise kernels.
+constexpr int64_t kStepGrain = 16384;
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Variable> params)
     : params_(std::move(params)) {
@@ -33,15 +42,22 @@ Sgd::Sgd(std::vector<Variable> params, float learning_rate, float momentum)
 
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
-    const Tensor grad = params_[i].grad();
+    autograd::Node* node = params_[i].node().get();
+    const bool has_grad = node->grad_initialized;
     Tensor& vel = velocity_[i];
+    // All updates run in place on the persistent velocity and parameter
+    // buffers — a steady-state step allocates nothing here.
     if (momentum_ > 0.0f) {
-      vel = tensor::Add(tensor::MulScalar(vel, momentum_), grad);
+      tensor::MulScalarInPlace(&vel, momentum_);
+      if (has_grad) tensor::AddInPlace(&vel, node->grad);
+    } else if (has_grad) {
+      vel = node->grad;
     } else {
-      vel = grad;
+      vel.Fill(0.0f);
     }
-    params_[i].SetValue(tensor::Sub(params_[i].value(),
-                                    tensor::MulScalar(vel, learning_rate_)));
+    // value += (-lr) * vel, rounding (-lr)*vel first — bit-identical to
+    // Sub(value, MulScalar(vel, lr)).
+    tensor::AxpyInPlace(&node->value, -learning_rate_, vel);
   }
 }
 
@@ -66,24 +82,30 @@ void Adam::Step() {
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (size_t i = 0; i < params_.size(); ++i) {
-    const Tensor grad = params_[i].grad();
-    Tensor& m = first_moment_[i];
-    Tensor& v = second_moment_[i];
-    m = tensor::Add(tensor::MulScalar(m, beta1_),
-                    tensor::MulScalar(grad, 1.0f - beta1_));
-    v = tensor::Add(tensor::MulScalar(v, beta2_),
-                    tensor::MulScalar(tensor::Square(grad), 1.0f - beta2_));
-    // Update = lr * (m / bias1) / (sqrt(v / bias2) + eps), fused per element.
-    const auto& md = m.data();
-    const auto& vd = v.data();
-    Tensor value = params_[i].value();
-    auto& pd = value.mutable_data();
-    for (size_t j = 0; j < pd.size(); ++j) {
-      const float m_hat = md[j] / bias1;
-      const float v_hat = vd[j] / bias2;
-      pd[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
-    params_[i].SetValue(std::move(value));
+    autograd::Node* node = params_[i].node().get();
+    // Moments, bias correction and the parameter update fused into one
+    // in-place pass; an uninitialised gradient is an exact zero (the
+    // moments still decay and the update still applies).
+    const float* gd =
+        node->grad_initialized ? node->grad.data().data() : nullptr;
+    float* md = first_moment_[i].mutable_data().data();
+    float* vd = second_moment_[i].mutable_data().data();
+    float* pd = node->value.mutable_data().data();
+    const int64_t len = node->value.size();
+    const float beta1 = beta1_;
+    const float beta2 = beta2_;
+    const float lr = learning_rate_;
+    const float eps = epsilon_;
+    common::ParallelFor(0, len, kStepGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        const float g = gd ? gd[j] : 0.0f;
+        md[j] = md[j] * beta1 + g * (1.0f - beta1);
+        vd[j] = vd[j] * beta2 + (g * g) * (1.0f - beta2);
+        const float m_hat = md[j] / bias1;
+        const float v_hat = vd[j] / bias2;
+        pd[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    });
   }
 }
 
@@ -91,15 +113,17 @@ float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
   STGNN_CHECK_GT(max_norm, 0.0f);
   double total_sq = 0.0;
   for (const auto& p : params) {
-    const tensor::Tensor grad = p.grad();
-    for (float g : grad.data()) total_sq += static_cast<double>(g) * g;
+    if (!p.node()->grad_initialized) continue;
+    for (float g : p.node()->grad.data()) {
+      total_sq += static_cast<double>(g) * g;
+    }
   }
   const float norm = static_cast<float>(std::sqrt(total_sq));
   if (norm > max_norm) {
     const float scale = max_norm / norm;
     for (const auto& p : params) {
       if (!p.node()->grad_initialized) continue;
-      p.node()->grad = tensor::MulScalar(p.node()->grad, scale);
+      tensor::MulScalarInPlace(&p.node()->grad, scale);
     }
   }
   return norm;

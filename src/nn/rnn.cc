@@ -21,8 +21,8 @@ RnnCell::RnnCell(int input_size, int hidden_size, common::Rng* rng)
 Variable RnnCell::Forward(const Variable& x, const Variable& h) const {
   STGNN_CHECK_EQ(x.value().dim(1), input_size_);
   STGNN_CHECK_EQ(h.value().dim(1), hidden_size_);
-  Variable pre = ag::Add(ag::Add(ag::MatMul(x, w_xh_), ag::MatMul(h, w_hh_)),
-                         bias_);
+  Variable pre = ag::AddInPlace(
+      ag::AddInPlace(ag::MatMul(x, w_xh_), ag::MatMul(h, w_hh_)), bias_);
   return ag::Tanh(pre);
 }
 
@@ -48,8 +48,8 @@ LstmCell::LstmCell(int input_size, int hidden_size, common::Rng* rng)
 
 LstmCell::State LstmCell::Forward(const Variable& x, const State& state) const {
   STGNN_CHECK_EQ(x.value().dim(1), input_size_);
-  Variable gates = ag::Add(
-      ag::Add(ag::MatMul(x, w_x_), ag::MatMul(state.h, w_h_)), bias_);
+  Variable gates = ag::AddInPlace(
+      ag::AddInPlace(ag::MatMul(x, w_x_), ag::MatMul(state.h, w_h_)), bias_);
   // Split the fused gate activation into i, f, g, o column blocks.
   // Concat/slice on columns goes through transpose-free column slicing via
   // Concat's inverse; here we slice by building a transpose.

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/buffer_pool.h"
 #include "common/counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -55,14 +56,22 @@ std::string ShapeToString(const Shape& shape) {
   return out.str();
 }
 
-Tensor::Tensor() : shape_{}, data_(1, 0.0f) {}
+Tensor::Tensor()
+    : shape_{}, data_(common::BufferPool::Global()->AcquireZeroed(1)) {}
+
+Tensor::~Tensor() {
+  common::BufferPool::Global()->Release(std::move(data_));
+}
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {
-  STGNN_COUNTER_INC("tensor.allocs");
-  STGNN_COUNTER_ADD("tensor.alloc_bytes",
-                    static_cast<int64_t>(data_.size()) * sizeof(float));
-}
+    : shape_(std::move(shape)),
+      data_(common::BufferPool::Global()->AcquireZeroed(
+          static_cast<size_t>(NumElements(shape_)))) {}
+
+Tensor::Tensor(UninitializedTag, Shape shape)
+    : shape_(std::move(shape)),
+      data_(common::BufferPool::Global()->AcquireUninitialized(
+          static_cast<size_t>(NumElements(shape_)))) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
@@ -71,12 +80,50 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
       << " elements";
 }
 
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_),
+      data_(common::BufferPool::Global()->AcquireUninitialized(
+          other.data_.size())) {
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  shape_ = other.shape_;
+  if (data_.size() != other.data_.size()) {
+    common::BufferPool::Global()->Release(std::move(data_));
+    data_ = common::BufferPool::Global()->AcquireUninitialized(
+        other.data_.size());
+  }
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  shape_ = std::move(other.shape_);
+  // Recycle the overwritten buffer instead of letting the vector move
+  // deallocate it.
+  common::BufferPool::Global()->Release(std::move(data_));
+  data_ = std::move(other.data_);
+  return *this;
+}
+
+void Tensor::ReleaseStorage() {
+  common::BufferPool::Global()->Release(std::move(data_));
+  data_.clear();
+}
+
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  return Tensor(UninitializedTag{}, std::move(shape));
+}
 
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t(UninitializedTag{}, std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -102,7 +149,7 @@ Tensor Tensor::FromVector(std::vector<float> values) {
 Tensor Tensor::RandomUniform(Shape shape, float lo, float hi,
                              common::Rng* rng) {
   STGNN_CHECK(rng != nullptr);
-  Tensor t(std::move(shape));
+  Tensor t(UninitializedTag{}, std::move(shape));
   for (auto& v : t.data_) {
     v = static_cast<float>(rng->Uniform(lo, hi));
   }
@@ -112,7 +159,7 @@ Tensor Tensor::RandomUniform(Shape shape, float lo, float hi,
 Tensor Tensor::RandomNormal(Shape shape, float mean, float stddev,
                             common::Rng* rng) {
   STGNN_CHECK(rng != nullptr);
-  Tensor t(std::move(shape));
+  Tensor t(UninitializedTag{}, std::move(shape));
   for (auto& v : t.data_) {
     v = static_cast<float>(rng->Normal(mean, stddev));
   }
@@ -202,7 +249,10 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   STGNN_CHECK_EQ(NumElements(new_shape), size())
       << "Reshape " << ShapeToString(shape_) << " -> "
       << ShapeToString(new_shape);
-  return Tensor(std::move(new_shape), data_);
+  std::vector<float> copy =
+      common::BufferPool::Global()->AcquireUninitialized(data_.size());
+  std::copy(data_.begin(), data_.end(), copy.begin());
+  return Tensor(std::move(new_shape), std::move(copy));
 }
 
 Tensor Tensor::Transpose() const {
@@ -211,7 +261,7 @@ Tensor Tensor::Transpose() const {
   STGNN_COUNTER_INC("op.transpose");
   const int rows = shape_[0];
   const int cols = shape_[1];
-  Tensor out({cols, rows});
+  Tensor out = Tensor::Uninitialized({cols, rows});
   const float* src = data_.data();
   float* dst = out.mutable_data().data();
   // Parallel over output rows; each output row j gathers column j of the
@@ -234,9 +284,11 @@ Tensor Tensor::SliceRows(int begin, int end) const {
   Shape out_shape = shape_;
   out_shape[0] = end - begin;
   const int64_t row_size = shape_[0] == 0 ? 0 : size() / shape_[0];
-  std::vector<float> out_data(
-      data_.begin() + static_cast<size_t>(begin * row_size),
-      data_.begin() + static_cast<size_t>(end * row_size));
+  std::vector<float> out_data = common::BufferPool::Global()->AcquireUninitialized(
+      static_cast<size_t>((end - begin) * row_size));
+  std::copy(data_.begin() + static_cast<size_t>(begin * row_size),
+            data_.begin() + static_cast<size_t>(end * row_size),
+            out_data.begin());
   return Tensor(std::move(out_shape), std::move(out_data));
 }
 
@@ -249,7 +301,7 @@ Tensor Tensor::Col(int j) const {
   STGNN_CHECK_EQ(ndim(), 2);
   STGNN_CHECK_GE(j, 0);
   STGNN_CHECK_LT(j, shape_[1]);
-  Tensor out({shape_[0], 1});
+  Tensor out = Tensor::Uninitialized({shape_[0], 1});
   for (int i = 0; i < shape_[0]; ++i) out.at(i, 0) = at(i, j);
   return out;
 }
@@ -304,7 +356,7 @@ template <typename Fn>
 Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Uninitialized(a.shape());
     STGNN_COUNTER_ADD("elementwise.elems", out.size());
     const float* da = a.data().data();
     const float* db = b.data().data();
@@ -318,7 +370,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     return out;
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   STGNN_COUNTER_ADD("elementwise.elems", out.size());
   const int rank = static_cast<int>(out_shape.size());
 
@@ -357,7 +409,7 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
 
 template <typename Fn>
 Tensor UnaryMap(const Tensor& a, Fn fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   STGNN_COUNTER_ADD("elementwise.elems", out.size());
   const float* da = a.data().data();
   float* dout = out.mutable_data().data();
@@ -431,6 +483,104 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 Tensor MulScalar(const Tensor& a, float s) {
   return UnaryMap(a, [s](float x) { return x * s; });
+}
+
+namespace {
+
+// a[i] = fn(a[i], broadcast(b)[i]). `b` must broadcast to a's shape.
+template <typename Fn>
+void BinaryInPlace(Tensor* a, const Tensor& b, Fn fn) {
+  STGNN_CHECK(a != nullptr);
+  STGNN_COUNTER_ADD("elementwise.elems", a->size());
+  if (a->shape() == b.shape()) {
+    float* da = a->mutable_data().data();
+    const float* db = b.data().data();
+    common::ParallelFor(0, a->size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            da[i] = fn(da[i], db[i]);
+                          }
+                        });
+    return;
+  }
+  const Shape out_shape = BroadcastShapes(a->shape(), b.shape());
+  STGNN_CHECK(out_shape == a->shape())
+      << "in-place op: " << ShapeToString(b.shape())
+      << " must broadcast to " << ShapeToString(a->shape());
+  const int rank = a->ndim();
+  Shape sb(rank, 1);
+  std::copy(b.shape().begin(), b.shape().end(),
+            sb.begin() + (rank - b.ndim()));
+  const auto strb = ComputeStrides(sb);
+  std::vector<int> index(rank, 0);
+  auto& da = a->mutable_data();
+  const auto& db = b.data();
+  for (int64_t flat = 0; flat < a->size(); ++flat) {
+    int64_t ib = 0;
+    for (int d = 0; d < rank; ++d) {
+      ib += (sb[d] == 1 ? 0 : index[d]) * strb[d];
+    }
+    da[static_cast<size_t>(flat)] =
+        fn(da[static_cast<size_t>(flat)], db[static_cast<size_t>(ib)]);
+    for (int d = rank - 1; d >= 0; --d) {
+      if (++index[d] < a->shape()[d]) break;
+      index[d] = 0;
+    }
+  }
+}
+
+template <typename Fn>
+void MapInPlace(Tensor* a, Fn fn) {
+  STGNN_CHECK(a != nullptr);
+  STGNN_COUNTER_ADD("elementwise.elems", a->size());
+  float* da = a->mutable_data().data();
+  common::ParallelFor(0, a->size(), kElementGrain,
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) da[i] = fn(da[i]);
+                      });
+}
+
+}  // namespace
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  BinaryInPlace(a, b, [](float x, float y) { return x + y; });
+}
+void SubInPlace(Tensor* a, const Tensor& b) {
+  BinaryInPlace(a, b, [](float x, float y) { return x - y; });
+}
+void MulInPlace(Tensor* a, const Tensor& b) {
+  BinaryInPlace(a, b, [](float x, float y) { return x * y; });
+}
+void AddScalarInPlace(Tensor* a, float s) {
+  MapInPlace(a, [s](float x) { return x + s; });
+}
+void MulScalarInPlace(Tensor* a, float s) {
+  MapInPlace(a, [s](float x) { return x * s; });
+}
+void AxpyInPlace(Tensor* a, float s, const Tensor& b) {
+  STGNN_CHECK(a != nullptr);
+  STGNN_CHECK(a->shape() == b.shape())
+      << "AxpyInPlace " << ShapeToString(a->shape()) << " vs "
+      << ShapeToString(b.shape());
+  STGNN_COUNTER_ADD("elementwise.elems", a->size());
+  float* da = a->mutable_data().data();
+  const float* db = b.data().data();
+  common::ParallelFor(0, a->size(), kElementGrain,
+                      [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          // Round s*b first, matching Add(a, MulScalar(b, s)).
+                          const float sb = s * db[i];
+                          da[i] = da[i] + sb;
+                        }
+                      });
+}
+void ReluInPlace(Tensor* a) {
+  MapInPlace(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+void EluInPlace(Tensor* a, float alpha) {
+  MapInPlace(a, [alpha](float x) {
+    return x > 0.0f ? x : alpha * (std::exp(x) - 1.0f);
+  });
 }
 
 namespace {
@@ -523,22 +673,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   STGNN_COUNTER_ADD("flops.matmul", int64_t{2} * m * k * n);
   STGNN_COUNTER_ADD("bytes.matmul_in",
                     (int64_t{4} * m * k) + (int64_t{4} * k * n));
-  Tensor out({m, n});
-  if (m == 0 || k == 0 || n == 0) return out;
+  if (m == 0 || k == 0 || n == 0) return Tensor({m, n});
+  const int64_t flops = static_cast<int64_t>(m) * k * n;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
-  float* po = out.mutable_data().data();
-  if (static_cast<int64_t>(m) * k * n <= kMmSmallFlops) {
-    MatMulSmall(pa, pb, po, m, k, n);
+  if (flops <= kMmSmallFlops) {
+    // The small kernel accumulates += into the output, so it needs zeros.
+    Tensor out({m, n});
+    MatMulSmall(pa, pb, out.mutable_data().data(), m, k, n);
     return out;
   }
+  // The panel path stores full-k accumulators, overwriting every output
+  // element exactly once.
+  Tensor out = Tensor::Uninitialized({m, n});
+  float* po = out.mutable_data().data();
 
   // Pack B into kMmPanel-wide column panels, each row-major with a fixed
-  // kMmPanel stride (the last panel is zero-padded). The packed layout
-  // keeps the microkernel's streams contiguous regardless of n.
+  // kMmPanel stride (the last panel is zero-padded per row). The packed
+  // layout keeps the microkernel's streams contiguous regardless of n; the
+  // scratch buffer itself is pooled.
   const int num_panels = (n + kMmPanel - 1) / kMmPanel;
-  std::vector<float> packed(
-      static_cast<size_t>(num_panels) * k * kMmPanel, 0.0f);
+  std::vector<float> packed = common::BufferPool::Global()->AcquireUninitialized(
+      static_cast<size_t>(num_panels) * k * kMmPanel);
   common::ParallelFor(0, num_panels, 1, [&](int64_t qb, int64_t qe) {
     for (int64_t q = qb; q < qe; ++q) {
       const int j0 = static_cast<int>(q) * kMmPanel;
@@ -546,7 +702,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       float* dst = packed.data() + static_cast<size_t>(q) * k * kMmPanel;
       for (int p = 0; p < k; ++p) {
         const float* src = pb + static_cast<size_t>(p) * n + j0;
-        std::copy(src, src + w, dst + static_cast<size_t>(p) * kMmPanel);
+        float* drow = dst + static_cast<size_t>(p) * kMmPanel;
+        std::copy(src, src + w, drow);
+        std::fill(drow + w, drow + kMmPanel, 0.0f);
       }
     }
   });
@@ -565,6 +723,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       MatMulPanelRows(pa, panel, po, ib, ie, k, n, j0, w);
     }
   });
+  common::BufferPool::Global()->Release(std::move(packed));
   return out;
 }
 
@@ -641,7 +800,10 @@ Tensor ReduceAxis2d(const Tensor& a, int axis, bool keepdims, Init init,
   const int rows = a.dim(0);
   const int cols = a.dim(1);
   const int out_len = axis == 0 ? cols : rows;
-  std::vector<float> out(static_cast<size_t>(out_len), init());
+  // Every slot is assigned exactly once below, so the buffer can start
+  // uninitialised.
+  std::vector<float> out = common::BufferPool::Global()->AcquireUninitialized(
+      static_cast<size_t>(out_len));
   const float* d = a.data().data();
   // Each output slot is owned by exactly one chunk, and its accumulation
   // order (ascending over the reduced axis) never depends on the thread
@@ -701,7 +863,7 @@ Tensor RowSoftmax(const Tensor& a) {
   const int rows = a.dim(0);
   const int cols = a.dim(1);
   STGNN_CHECK_GT(cols, 0);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* src = a.data().data();
   float* dst = out.mutable_data().data();
   common::ParallelFor(0, rows, common::GrainFor(rows, cols),
@@ -736,7 +898,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
       STGNN_CHECK_EQ(p.dim(1), cols);
       rows += p.dim(0);
     }
-    Tensor out({rows, cols});
+    Tensor out = Tensor::Uninitialized({rows, cols});
     auto& dout = out.mutable_data();
     size_t offset = 0;
     for (const auto& p : parts) {
@@ -751,7 +913,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     STGNN_CHECK_EQ(p.dim(0), rows);
     cols += p.dim(1);
   }
-  Tensor out({rows, cols});
+  Tensor out = Tensor::Uninitialized({rows, cols});
   for (int i = 0; i < rows; ++i) {
     int col_offset = 0;
     for (const auto& p : parts) {
@@ -771,7 +933,7 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   Shape out_shape;
   out_shape.push_back(static_cast<int>(parts.size()));
   out_shape.insert(out_shape.end(), base.begin(), base.end());
-  Tensor out(std::move(out_shape));
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
   auto& dout = out.mutable_data();
   size_t offset = 0;
   for (const auto& p : parts) {

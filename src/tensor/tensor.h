@@ -23,21 +23,29 @@ std::string ShapeToString(const Shape& shape);
 // Dense row-major float32 tensor. Copyable (deep copy of the buffer) and
 // movable. Shape mismatches and out-of-bounds access are programming errors
 // and abort via STGNN_CHECK; these are not recoverable conditions.
+//
+// Storage is recycled through common::BufferPool: construction acquires a
+// pooled buffer, destruction (and move-assignment over an existing tensor)
+// releases it back, so steady-state op chains reuse buffers instead of
+// hitting the allocator. The buffer-adopting constructors take ownership of
+// the caller's vector without copying — pass rvalues.
 class Tensor {
  public:
   // Rank-0 scalar holding 0.
   Tensor();
+  ~Tensor();
 
   // Zero-initialised tensor with the given shape.
   explicit Tensor(Shape shape);
 
-  // Tensor with the given shape and data (data.size() must match).
+  // Tensor with the given shape and data (data.size() must match). Adopts
+  // the buffer; it is released to the pool when the tensor dies.
   Tensor(Shape shape, std::vector<float> data);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept;
 
   // --- Factories ---
   static Tensor Zeros(Shape shape);
@@ -46,7 +54,12 @@ class Tensor {
   static Tensor Scalar(float value);
   // Identity matrix of size [n, n].
   static Tensor Eye(int n);
-  // 1-D tensor from the given values.
+  // Tensor with the given shape and UNSPECIFIED contents. Only for kernels
+  // that overwrite every element before reading any; with the pool disabled
+  // the contents happen to be zero, so a violation surfaces as a
+  // pooled-vs-unpooled parity failure rather than silent nondeterminism.
+  static Tensor Uninitialized(Shape shape);
+  // 1-D tensor from the given values (adopts the buffer).
   static Tensor FromVector(std::vector<float> values);
   // Uniform in [lo, hi).
   static Tensor RandomUniform(Shape shape, float lo, float hi,
@@ -93,12 +106,21 @@ class Tensor {
   // In-place fill.
   void Fill(float value);
 
+  // Returns the data buffer to the pool, leaving a "hollow" tensor: shape()
+  // stays valid but size() becomes 0 and element access CHECK-fails. Used
+  // by the autograd memory plan to recycle interior-node values whose
+  // consumers have all run while keeping shape metadata readable.
+  void ReleaseStorage();
+
   // True if shapes are equal and all elements are within `tolerance`.
   bool AllClose(const Tensor& other, float tolerance = 1e-5f) const;
 
   std::string ToString() const;
 
  private:
+  struct UninitializedTag {};
+  Tensor(UninitializedTag, Shape shape);
+
   Shape shape_;
   std::vector<float> data_;
 };
@@ -133,6 +155,22 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 // --- Scalar ops ---
 Tensor AddScalar(const Tensor& a, float s);
 Tensor MulScalar(const Tensor& a, float s);
+
+// --- In-place variants ---
+// These mutate `a` instead of allocating an output, with the same per-
+// element rounding as their allocating counterparts (one operation, one
+// rounding), so substituting them at a call site is bit-neutral for finite
+// inputs. `b` must broadcast to a's shape (b may be smaller, not larger).
+void AddInPlace(Tensor* a, const Tensor& b);
+void SubInPlace(Tensor* a, const Tensor& b);
+void MulInPlace(Tensor* a, const Tensor& b);
+void AddScalarInPlace(Tensor* a, float s);
+void MulScalarInPlace(Tensor* a, float s);
+// a += s * b (same shape), rounding s*b before the add like the
+// Add(a, MulScalar(b, s)) composition it replaces.
+void AxpyInPlace(Tensor* a, float s, const Tensor& b);
+void ReluInPlace(Tensor* a);
+void EluInPlace(Tensor* a, float alpha = 1.0f);
 
 // --- Linear algebra ---
 // [m, k] x [k, n] -> [m, n].
