@@ -1,18 +1,19 @@
 #include "common/counters.h"
 
 #include <algorithm>
-#include <map>
 #include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace stgnn::common::counters {
 namespace {
 
 struct Registry {
   std::mutex mu;
-  // std::map nodes are stable, so Counter* handed out by FindOrCreate
-  // survive later insertions.
-  std::map<std::string, Counter> counters;
+  // unordered_map nodes are stable, so Counter* handed out by FindOrCreate
+  // survive later insertions; lookup on the FindOrCreate slow path is a
+  // hash instead of a tree walk. Ordering for output is Snapshot's job.
+  std::unordered_map<std::string, Counter> counters;
 };
 
 // Leaked: worker threads of the (also leaked) global thread pool may bump
@@ -33,11 +34,18 @@ Counter* FindOrCreate(const std::string& name) {
 std::vector<std::pair<std::string, int64_t>> Snapshot() {
   Registry* r = GlobalRegistry();
   std::vector<std::pair<std::string, int64_t>> out;
-  std::lock_guard<std::mutex> lock(r->mu);
-  out.reserve(r->counters.size());
-  for (const auto& [name, counter] : r->counters) {
-    out.emplace_back(name, counter.value());
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    out.reserve(r->counters.size());
+    for (const auto& [name, counter] : r->counters) {
+      out.emplace_back(name, counter.value());
+    }
   }
+  // Explicitly sorted by name: Format / --print-counters / the counter
+  // block embedded in trace JSON are diffed in CI, so the order must not
+  // depend on registration order or hashing.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

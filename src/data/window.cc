@@ -1,5 +1,7 @@
 #include "data/window.h"
 
+#include <string>
+
 namespace stgnn::data {
 
 using tensor::Tensor;
@@ -19,10 +21,35 @@ void CopyFlowRow(const Tensor& source, float scale, int row, Tensor* dest) {
 
 }  // namespace
 
+Status ValidateHistorySlot(const FlowDataset& flow, int t, int k, int d) {
+  if (k < 1) {
+    return Status::InvalidArgument("short-term window k must be >= 1, got " +
+                                   std::to_string(k));
+  }
+  if (d < 0) {
+    return Status::InvalidArgument("long-term window d must be >= 0, got " +
+                                   std::to_string(d));
+  }
+  if (t < 0 || t >= flow.num_slots) {
+    return Status::OutOfRange("slot " + std::to_string(t) +
+                              " outside the dataset's [0, " +
+                              std::to_string(flow.num_slots) + ") slots");
+  }
+  const int first = flow.FirstPredictableSlot(k, d);
+  if (t < first) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(t) +
+        " predates the first predictable slot " + std::to_string(first) +
+        " (needs " + std::to_string(k) + " slots and " + std::to_string(d) +
+        " days of history)");
+  }
+  return Status::OK();
+}
+
 StHistory BuildStHistory(const FlowDataset& flow, int t, int k, int d,
                          float scale) {
-  STGNN_CHECK_GE(t, flow.FirstPredictableSlot(k, d));
-  STGNN_CHECK_LT(t, flow.num_slots);
+  const Status valid = ValidateHistorySlot(flow, t, k, d);
+  STGNN_CHECK(valid.ok()) << valid.ToString();
   const int n = flow.num_stations;
   StHistory history;
   history.inflow_short = Tensor({k, n * n});
@@ -40,6 +67,13 @@ StHistory BuildStHistory(const FlowDataset& flow, int t, int k, int d,
     CopyFlowRow(flow.outflow[slot], scale, c, &history.outflow_long);
   }
   return history;
+}
+
+Result<StHistory> TryBuildStHistory(const FlowDataset& flow, int t, int k,
+                                    int d, float scale) {
+  const Status valid = ValidateHistorySlot(flow, t, k, d);
+  if (!valid.ok()) return valid;
+  return BuildStHistory(flow, t, k, d, scale);
 }
 
 namespace {

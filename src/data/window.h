@@ -1,6 +1,7 @@
 #ifndef STGNN_DATA_WINDOW_H_
 #define STGNN_DATA_WINDOW_H_
 
+#include "common/result.h"
 #include "data/flow_dataset.h"
 #include "tensor/tensor.h"
 
@@ -16,11 +17,26 @@ struct StHistory {
   tensor::Tensor outflow_long;   // [d, n*n]
 };
 
+// Validates that slot t can be assembled with a k-slot / d-day window.
+// Typed errors (never silent clamping, never an abort):
+//  - InvalidArgument: k < 1 or d < 0;
+//  - FailedPrecondition: t predates FirstPredictableSlot(k, d) — the
+//    dataset does not hold enough history before t;
+//  - OutOfRange: t < 0 or t >= num_slots.
+Status ValidateHistorySlot(const FlowDataset& flow, int t, int k, int d);
+
 // Assembles the short-term (last k slots) and long-term (same slot-of-day in
 // the last d days) flow history for predicting slot t. Requires
-// t >= FirstPredictableSlot(k, d).
+// t >= FirstPredictableSlot(k, d); violations are programming errors and
+// abort. Request-driven callers (the serving runtime, anything fed
+// external slot indices) should use TryBuildStHistory instead.
 StHistory BuildStHistory(const FlowDataset& flow, int t, int k, int d,
                          float scale);
+
+// BuildStHistory with the typed errors of ValidateHistorySlot instead of a
+// CHECK abort, for callers whose slot index comes from a request.
+Result<StHistory> TryBuildStHistory(const FlowDataset& flow, int t, int k,
+                                    int d, float scale);
 
 // Demand (or supply) of the last `window` slots as [n, window], newest last.
 // Used by the temporal baselines (MLP/RNN/LSTM/XGBoost/ARIMA features).

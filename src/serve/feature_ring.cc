@@ -1,0 +1,125 @@
+#include "serve/feature_ring.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/counters.h"
+#include "common/trace.h"
+
+namespace stgnn::serve {
+
+using tensor::Tensor;
+
+FeatureRing::FeatureRing(int num_stations, int short_term_slots,
+                         int long_term_days, int slots_per_day, float scale)
+    : num_stations_(num_stations),
+      k_(short_term_slots),
+      d_(long_term_days),
+      slots_per_day_(slots_per_day),
+      window_(std::max(k_, d_ * slots_per_day_)),
+      capacity_(window_ + 2),
+      scale_(scale),
+      row_size_(static_cast<size_t>(num_stations) * num_stations) {
+  STGNN_CHECK_GT(num_stations_, 0);
+  STGNN_CHECK_GE(k_, 1);
+  STGNN_CHECK_GE(d_, 0);
+  STGNN_CHECK_GE(slots_per_day_, 1);
+  in_rows_.resize(static_cast<size_t>(capacity_) * row_size_);
+  out_rows_.resize(static_cast<size_t>(capacity_) * row_size_);
+}
+
+Status FeatureRing::Push(int slot, const Tensor& inflow,
+                         const Tensor& outflow) {
+  STGNN_TRACE_SCOPE("Serve.Ingest");
+  const int n = num_stations_;
+  if (inflow.ndim() != 2 || inflow.dim(0) != n || inflow.dim(1) != n ||
+      outflow.ndim() != 2 || outflow.dim(0) != n || outflow.dim(1) != n) {
+    return Status::InvalidArgument(
+        "FeatureRing::Push expects [" + std::to_string(n) + ", " +
+        std::to_string(n) + "] flow matrices, got inflow " +
+        tensor::ShapeToString(inflow.shape()) + " outflow " +
+        tensor::ShapeToString(outflow.shape()));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot != next_slot_) {
+    return Status::InvalidArgument(
+        "out-of-order ingest: expected slot " + std::to_string(next_slot_) +
+        ", got " + std::to_string(slot));
+  }
+  float* in_cell = in_rows_.data() + CellOffset(slot);
+  float* out_cell = out_rows_.data() + CellOffset(slot);
+  const float* in_src = inflow.data().data();
+  const float* out_src = outflow.data().data();
+  // Pre-scale at ingest so History() is pure copies. One multiply per
+  // element, exactly like BuildStHistory's CopyFlowRow, so values are
+  // bit-identical to the offline assembly path.
+  for (size_t i = 0; i < row_size_; ++i) in_cell[i] = in_src[i] * scale_;
+  for (size_t i = 0; i < row_size_; ++i) out_cell[i] = out_src[i] * scale_;
+  ++next_slot_;
+  if (stored_ < capacity_) ++stored_;
+  STGNN_COUNTER_INC("serve.ingested_slots");
+  return Status::OK();
+}
+
+int FeatureRing::next_slot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_slot_;
+}
+
+bool FeatureRing::ReadyFor(int t) const {
+  return History(t).ok();
+}
+
+Result<data::StHistory> FeatureRing::History(int t) const {
+  STGNN_TRACE_SCOPE("Serve.Assemble");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t < window_) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(t) + " predates the first predictable slot " +
+        std::to_string(window_) + " (needs " + std::to_string(k_) +
+        " slots and " + std::to_string(d_) + " days of history)");
+  }
+  if (t > next_slot_) {
+    return Status::OutOfRange("slot " + std::to_string(t) +
+                              " is ahead of the ingest frontier " +
+                              std::to_string(next_slot_));
+  }
+  const int oldest_retained = next_slot_ - stored_;
+  if (t - window_ < oldest_retained) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(t) + " needs slot " +
+        std::to_string(t - window_) + ", already overwritten (ring retains [" +
+        std::to_string(oldest_retained) + ", " + std::to_string(next_slot_) +
+        "))");
+  }
+  const int n = num_stations_;
+  const int row_elems = n * n;
+  data::StHistory history;
+  // Every element is overwritten by the memcpys below.
+  history.inflow_short = Tensor::Uninitialized({k_, row_elems});
+  history.outflow_short = Tensor::Uninitialized({k_, row_elems});
+  history.inflow_long = Tensor::Uninitialized({d_, row_elems});
+  history.outflow_long = Tensor::Uninitialized({d_, row_elems});
+  float* in_short = history.inflow_short.mutable_data().data();
+  float* out_short = history.outflow_short.mutable_data().data();
+  for (int c = 0; c < k_; ++c) {
+    const size_t cell = CellOffset(t - k_ + c);
+    std::memcpy(in_short + static_cast<size_t>(c) * row_size_,
+                in_rows_.data() + cell, row_size_ * sizeof(float));
+    std::memcpy(out_short + static_cast<size_t>(c) * row_size_,
+                out_rows_.data() + cell, row_size_ * sizeof(float));
+  }
+  float* in_long = history.inflow_long.mutable_data().data();
+  float* out_long = history.outflow_long.mutable_data().data();
+  for (int c = 0; c < d_; ++c) {
+    const size_t cell = CellOffset(t - (d_ - c) * slots_per_day_);
+    std::memcpy(in_long + static_cast<size_t>(c) * row_size_,
+                in_rows_.data() + cell, row_size_ * sizeof(float));
+    std::memcpy(out_long + static_cast<size_t>(c) * row_size_,
+                out_rows_.data() + cell, row_size_ * sizeof(float));
+  }
+  return history;
+}
+
+}  // namespace stgnn::serve

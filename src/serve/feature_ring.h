@@ -1,0 +1,96 @@
+#ifndef STGNN_SERVE_FEATURE_RING_H_
+#define STGNN_SERVE_FEATURE_RING_H_
+
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "data/window.h"
+#include "tensor/tensor.h"
+
+namespace stgnn::serve {
+
+// Rolling window of per-slot flow matrices, sized to exactly the history
+// STGNN-DJD's flow convolution reads: the last k slots plus the same slot
+// of the last d days, i.e. max(k, d * slots_per_day) slots (plus a small
+// slack, see below). Ingest pushes each new slot's I^t/O^t matrix once;
+// History() then assembles a data::StHistory with one row copy per history
+// channel — no dataset re-slicing and no re-scaling, because rows are
+// stored pre-multiplied by `scale` at push time. The values (and their
+// float rounding) are therefore bit-identical to data::BuildStHistory on
+// the same flows with the same scale.
+//
+// Slack: capacity is window + 2 slots so that (a) predicting slot t stays
+// valid after slot t's own observation arrives (the online setting
+// predicts t, then ingests t), and (b) an ingest racing a concurrent
+// History() call cannot invalidate a just-resolved request.
+//
+// Thread-safe: Push and History may be called concurrently from any
+// threads; a mutex serialises access (assembly is a handful of memcpys,
+// so the critical section is short).
+class FeatureRing {
+ public:
+  // `scale` is the model's input scale (input_scale_multiplier /
+  // max_train_flow); rows are stored pre-scaled.
+  FeatureRing(int num_stations, int short_term_slots, int long_term_days,
+              int slots_per_day, float scale);
+
+  int num_stations() const { return num_stations_; }
+  int short_term_slots() const { return k_; }
+  int long_term_days() const { return d_; }
+  int slots_per_day() const { return slots_per_day_; }
+  // Slots retained: max(k, d * slots_per_day) + 2.
+  int capacity() const { return capacity_; }
+
+  // Appends the [n, n] flow matrices observed at `slot`. Slots must arrive
+  // in order with no gaps (slot == next_slot()); anything else returns
+  // InvalidArgument, as does a shape mismatch.
+  Status Push(int slot, const tensor::Tensor& inflow,
+              const tensor::Tensor& outflow);
+
+  // The ingest frontier: the slot the next Push must carry, and the slot a
+  // "latest" prediction request resolves to.
+  int next_slot() const;
+
+  // First slot with enough history once the ring has seen slots [0, t):
+  // max(k, d * slots_per_day), mirroring FlowDataset::FirstPredictableSlot.
+  int first_predictable_slot() const { return window_; }
+
+  // True iff History(t) would succeed right now.
+  bool ReadyFor(int t) const;
+
+  // Assembles the short/long-term flow history for predicting slot t.
+  // Typed errors instead of aborts, so a serving request with insufficient
+  // context is a normal rejected response:
+  //  - FailedPrecondition: t predates the first predictable slot, or the
+  //    slots it needs have already been overwritten (t too far behind the
+  //    frontier);
+  //  - OutOfRange: t is ahead of the ingest frontier (history not yet
+  //    observed).
+  Result<data::StHistory> History(int t) const;
+
+ private:
+  // Row index into the flat storage for a retained slot.
+  size_t CellOffset(int slot) const {
+    return static_cast<size_t>(slot % capacity_) * row_size_;
+  }
+
+  const int num_stations_;
+  const int k_;
+  const int d_;
+  const int slots_per_day_;
+  const int window_;    // max(k, d * slots_per_day)
+  const int capacity_;  // window_ + 2
+  const float scale_;
+  const size_t row_size_;  // n * n
+
+  mutable std::mutex mu_;
+  int next_slot_ = 0;  // slots [next_slot_ - stored_, next_slot_) retained
+  int stored_ = 0;
+  std::vector<float> in_rows_;   // capacity_ rows of n*n pre-scaled floats
+  std::vector<float> out_rows_;
+};
+
+}  // namespace stgnn::serve
+
+#endif  // STGNN_SERVE_FEATURE_RING_H_

@@ -1,0 +1,53 @@
+#include "serve/histogram.h"
+
+#include <cmath>
+
+namespace stgnn::serve {
+
+int LatencyHistogram::BucketFor(int64_t ns) {
+  if (ns <= static_cast<int64_t>(kBaseNs)) return 0;
+  const int bucket = static_cast<int>(
+      std::log(static_cast<double>(ns) / kBaseNs) / std::log(kGrowth));
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double LatencyHistogram::BucketMidpointNs(int bucket) {
+  // Geometric midpoint of [base * g^b, base * g^(b+1)).
+  return kBaseNs * std::pow(kGrowth, bucket + 0.5);
+}
+
+void LatencyHistogram::Record(int64_t ns) {
+  if (ns < 0) ns = 0;
+  buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanNs() const {
+  const int64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / n;
+}
+
+double LatencyHistogram::PercentileNs(double p) const {
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const int64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  int64_t rank = static_cast<int64_t>(std::ceil(p / 100.0 * n));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpointNs(b);
+  }
+  return BucketMidpointNs(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stgnn::serve

@@ -1,0 +1,56 @@
+#ifndef STGNN_SERVE_HISTOGRAM_H_
+#define STGNN_SERVE_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace stgnn::serve {
+
+// Lock-free latency histogram with geometric buckets.
+//
+// Unlike the counter/trace macros this is *always* compiled in: tail
+// latency is a serving product metric, not a debugging aid, so the
+// percentiles reported by PredictionService::stats() must exist in
+// STGNN_ENABLE_TRACING=OFF builds too. Record is one relaxed fetch_add
+// (plus a log to pick the bucket), safe from any number of threads.
+//
+// Buckets cover [kBaseNs, kBaseNs * kGrowth^(kBuckets-1)) — about 100 ns to
+// over an hour at 25% geometric growth — so any percentile estimate is
+// within ~12% of the true value (geometric midpoint of a 1.25x bucket).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 120;
+  static constexpr double kBaseNs = 100.0;
+  static constexpr double kGrowth = 1.25;
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(int64_t ns);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  // Mean over all recorded samples (exact, not bucketed). 0 when empty.
+  double MeanNs() const;
+
+  // Estimated p-th percentile (p in [0, 100]) as the geometric midpoint of
+  // the bucket holding the rank-ceil(p/100 * count) sample. 0 when empty.
+  // Concurrent Records may or may not be included; the estimate is only
+  // approximate while writers are active.
+  double PercentileNs(double p) const;
+
+  void Reset();
+
+ private:
+  static int BucketFor(int64_t ns);
+  static double BucketMidpointNs(int bucket);
+
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_ns_{0};
+};
+
+}  // namespace stgnn::serve
+
+#endif  // STGNN_SERVE_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+#ifndef STGNN_SERVE_MODEL_REGISTRY_H_
+#define STGNN_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "core/stgnn_djd.h"
+#include "data/flow_dataset.h"
+
+namespace stgnn::serve {
+
+// Everything a serving request needs to turn a flow window into
+// denormalised predictions: the network, the target normaliser fitted at
+// training time, and the input scale the training run used. Immutable once
+// published — requests hold the snapshot through a shared_ptr, so a swap
+// can never tear a request between two models' weights or normalisers.
+struct ModelSnapshot {
+  ModelSnapshot(std::shared_ptr<const core::StgnnDjdModel> model_in,
+                data::MinMaxNormalizer normalizer_in, float input_scale_in,
+                core::StgnnConfig config_in)
+      : model(std::move(model_in)),
+        normalizer(std::move(normalizer_in)),
+        input_scale(input_scale_in),
+        config(std::move(config_in)) {}
+
+  std::shared_ptr<const core::StgnnDjdModel> model;
+  data::MinMaxNormalizer normalizer;
+  float input_scale;
+  core::StgnnConfig config;
+  uint64_t version = 0;  // assigned by ModelRegistry::Publish
+};
+
+// RCU-style registry of the live model. Publish atomically replaces the
+// current snapshot; Current hands out a shared_ptr, so readers that grabbed
+// the old snapshot keep it alive until their request completes — a swap
+// drops no in-flight request and tears none (each request reads exactly one
+// snapshot). The critical sections are a pointer copy under a mutex, which
+// on this scale is indistinguishable from std::atomic<shared_ptr> and free
+// of its lock-free-ness caveats.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Publishes `snapshot` as the live model and returns its assigned
+  // version (1, 2, ... in publish order). Bumps the serve.swap counter.
+  uint64_t Publish(ModelSnapshot snapshot);
+
+  // The live snapshot; null until the first Publish.
+  std::shared_ptr<const ModelSnapshot> Current() const;
+
+  // Version of the live snapshot; 0 until the first Publish.
+  uint64_t current_version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  uint64_t next_version_ = 1;
+};
+
+// Builds a servable snapshot from a checkpoint written by
+// nn::SaveParameters: constructs the network for (`config`, `num_stations`)
+// and loads the weights, pairing them with the normaliser and input scale
+// of the training run that produced the checkpoint. This is the hot-swap
+// path a trainer uses to hand a fresh checkpoint to a running service.
+Result<ModelSnapshot> SnapshotFromCheckpoint(
+    const core::StgnnConfig& config, int num_stations,
+    const std::string& checkpoint_path, data::MinMaxNormalizer normalizer,
+    float input_scale);
+
+}  // namespace stgnn::serve
+
+#endif  // STGNN_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,291 @@
+#include "serve/prediction_service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/counters.h"
+#include "common/trace.h"
+
+namespace stgnn::serve {
+
+using tensor::Tensor;
+
+PredictionService::PredictionService(ModelRegistry* registry,
+                                     FeatureRing* ring,
+                                     ServiceOptions options)
+    : registry_(registry), ring_(ring), options_(options) {
+  STGNN_CHECK(registry_ != nullptr);
+  STGNN_CHECK(ring_ != nullptr);
+  STGNN_CHECK_GE(options_.num_workers, 1);
+  STGNN_CHECK_GE(options_.max_batch, 1);
+  STGNN_CHECK_GE(options_.max_queue, 1);
+  stats_.batch_size_counts.assign(options_.max_batch + 1, 0);
+}
+
+PredictionService::~PredictionService() { Stop(); }
+
+void PredictionService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stop_) return;
+  started_ = true;
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void PredictionService::Stop() {
+  std::vector<std::thread> workers;
+  std::deque<Entry> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    workers.swap(workers_);
+    // Without workers nothing will ever drain the queue; fail the
+    // leftovers here so every promise is still fulfilled exactly once.
+    if (!started_) orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) w.join();
+  for (auto& e : orphaned) {
+    PredictResponse response;
+    response.kind = PredictResponse::Kind::kFailed;
+    response.status = Status::FailedPrecondition("service stopped");
+    Respond(&e, std::move(response));
+  }
+}
+
+std::future<PredictResponse> PredictionService::SubmitAsync(
+    PredictRequest request) {
+  STGNN_COUNTER_INC("serve.requests");
+  Entry entry;
+  entry.request = std::move(request);
+  entry.submit_ns = common::trace::NowNs();
+  std::future<PredictResponse> future = entry.promise.get_future();
+  bool reject_full = false;
+  bool reject_stopped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stop_) {
+      reject_stopped = true;
+    } else if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      reject_full = true;
+      ++stats_.shed_queue_full;
+    } else {
+      queue_.push_back(std::move(entry));
+    }
+  }
+  if (reject_stopped) {
+    PredictResponse response;
+    response.kind = PredictResponse::Kind::kFailed;
+    response.status = Status::FailedPrecondition("service stopped");
+    Respond(&entry, std::move(response));
+    return future;
+  }
+  if (reject_full) {
+    STGNN_COUNTER_INC("serve.shed");
+    PredictResponse response;
+    response.kind = PredictResponse::Kind::kRejectedQueueFull;
+    Respond(&entry, std::move(response));
+    return future;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+PredictResponse PredictionService::Predict(PredictRequest request) {
+  return SubmitAsync(std::move(request)).get();
+}
+
+ServiceStats PredictionService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PredictionService::WorkerLoop() {
+  for (;;) {
+    std::vector<Entry> batch;
+    int resolved_slot = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      // Coalesce the longest front run of requests that resolve to the
+      // same slot (FIFO order, so no request can be starved by batching).
+      // "Latest" requests resolve against one frontier read per batch, so
+      // every latest-request in the batch targets the same slot.
+      const int frontier = ring_->next_slot();
+      auto resolve = [frontier](const Entry& e) {
+        return e.request.slot == PredictRequest::kLatestSlot ? frontier
+                                                             : e.request.slot;
+      };
+      resolved_slot = resolve(queue_.front());
+      while (!queue_.empty() &&
+             static_cast<int>(batch.size()) < options_.max_batch &&
+             resolve(queue_.front()) == resolved_slot) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ServeBatch(resolved_slot, std::move(batch));
+  }
+}
+
+void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
+  STGNN_TRACE_SCOPE("Serve.Batch");
+  // Stats are always updated BEFORE the corresponding promises are
+  // fulfilled: a caller that returns from future.get() and immediately
+  // reads stats() must see its own request accounted for.
+
+  // Deadline shedding happens at dequeue: a request that waited past its
+  // deadline gets a fast typed rejection instead of a stale prediction.
+  const int64_t now = common::trace::NowNs();
+  std::vector<Entry> live;
+  std::vector<Entry> expired;
+  live.reserve(batch.size());
+  for (auto& entry : batch) {
+    if (entry.request.deadline_ns > 0 && now > entry.request.deadline_ns) {
+      expired.push_back(std::move(entry));
+    } else {
+      live.push_back(std::move(entry));
+    }
+  }
+  if (!expired.empty()) {
+    STGNN_COUNTER_ADD("serve.shed", expired.size());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.shed_deadline += static_cast<int64_t>(expired.size());
+    }
+    for (auto& entry : expired) {
+      PredictResponse response;
+      response.kind = PredictResponse::Kind::kRejectedDeadline;
+      response.slot = slot;
+      Respond(&entry, std::move(response));
+    }
+  }
+  if (live.empty()) return;
+
+  auto fail_all = [this, slot, &live](const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.failed += static_cast<int64_t>(live.size());
+    }
+    for (auto& entry : live) {
+      PredictResponse response;
+      response.kind = PredictResponse::Kind::kFailed;
+      response.status = status;
+      response.slot = slot;
+      Respond(&entry, std::move(response));
+    }
+  };
+
+  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
+  if (snapshot == nullptr) {
+    fail_all(Status::FailedPrecondition("no model published"));
+    return;
+  }
+  if (snapshot->model->num_stations() != ring_->num_stations() ||
+      snapshot->config.short_term_slots != ring_->short_term_slots() ||
+      snapshot->config.long_term_days != ring_->long_term_days()) {
+    fail_all(Status::FailedPrecondition(
+        "published model window (n=" +
+        std::to_string(snapshot->model->num_stations()) +
+        ", k=" + std::to_string(snapshot->config.short_term_slots) +
+        ", d=" + std::to_string(snapshot->config.long_term_days) +
+        ") does not match the feature ring (n=" +
+        std::to_string(ring_->num_stations()) +
+        ", k=" + std::to_string(ring_->short_term_slots()) +
+        ", d=" + std::to_string(ring_->long_term_days()) + ")"));
+    return;
+  }
+
+  Result<data::StHistory> history = ring_->History(slot);
+  if (!history.ok()) {
+    fail_all(history.status());
+    return;
+  }
+
+  // One Forward serves the whole micro-batch. Denormalize inside the
+  // execution section keeps the op order identical to the direct
+  // StgnnDjdPredictor::PredictHorizon path (Forward -> Denormalize ->
+  // Relu), so served rows are bitwise equal to the offline path.
+  Tensor full;
+  uint64_t version = snapshot->version;
+  {
+    STGNN_TRACE_SCOPE("Serve.Forward");
+    std::lock_guard<std::mutex> exec_lock(exec_mu_);
+    const autograd::Variable out =
+        snapshot->model->Forward(*history, /*training=*/false, nullptr);
+    full = snapshot->normalizer.Denormalize(out.value());
+  }
+  full = tensor::Relu(full);
+
+  STGNN_COUNTER_INC("serve.batches");
+  STGNN_COUNTER_ADD("serve.batched_requests", live.size());
+  const int batch_size = static_cast<int>(live.size());
+  const int n = full.dim(0);
+  const int cols = full.dim(1);
+
+  // Validate every request's station list up front so the stats can be
+  // published before any promise is fulfilled.
+  std::vector<Status> verdicts(live.size());
+  int64_t served = 0;
+  int64_t failed = 0;
+  for (size_t i = 0; i < live.size(); ++i) {
+    for (int s : live[i].request.stations) {
+      if (s < 0 || s >= n) {
+        verdicts[i] = Status::InvalidArgument(
+            "station index " + std::to_string(s) + " outside [0, " +
+            std::to_string(n) + ")");
+        break;
+      }
+    }
+    verdicts[i].ok() ? ++served : ++failed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.served += served;
+    stats_.failed += failed;
+    ++stats_.batches;
+    stats_.batch_size_counts[batch_size] += 1;
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    STGNN_TRACE_SCOPE("Serve.Respond");
+    Entry& entry = live[i];
+    if (!verdicts[i].ok()) {
+      PredictResponse response;
+      response.kind = PredictResponse::Kind::kFailed;
+      response.status = std::move(verdicts[i]);
+      response.slot = slot;
+      Respond(&entry, std::move(response));
+      continue;
+    }
+    const std::vector<int>& stations = entry.request.stations;
+    const int rows = stations.empty() ? n : static_cast<int>(stations.size());
+    Tensor out = Tensor::Uninitialized({rows, cols});
+    for (int r = 0; r < rows; ++r) {
+      const int src = stations.empty() ? r : stations[r];
+      for (int c = 0; c < cols; ++c) out.at(r, c) = full.at(src, c);
+    }
+    PredictResponse response;
+    response.kind = PredictResponse::Kind::kOk;
+    response.predictions = std::move(out);
+    response.slot = slot;
+    response.model_version = version;
+    response.batch_size = batch_size;
+    Respond(&entry, std::move(response));
+  }
+}
+
+void PredictionService::Respond(Entry* entry, PredictResponse response) {
+  response.latency_ns = common::trace::NowNs() - entry->submit_ns;
+  if (response.kind == PredictResponse::Kind::kOk) {
+    latency_.Record(response.latency_ns);
+  }
+  entry->promise.set_value(std::move(response));
+}
+
+}  // namespace stgnn::serve

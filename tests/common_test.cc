@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <cmath>
 #include <set>
 
+#include "common/counters.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -190,6 +192,29 @@ TEST(RngTest, ForkIsIndependent) {
 }
 
 // --- string_util ---
+
+TEST(CountersTest, SnapshotAndFormatSortedByName) {
+  // Register in non-alphabetical order; output must still be sorted so
+  // --print-counters dumps (and the CI diffs over them) are deterministic.
+  common::counters::FindOrCreate("zz.counter_sort_test")->Add(3);
+  common::counters::FindOrCreate("aa.counter_sort_test")->Add(1);
+  common::counters::FindOrCreate("mm.counter_sort_test")->Add(2);
+
+  const auto snapshot = common::counters::Snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.begin(), snapshot.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+
+  const std::string table = common::counters::Format();
+  const size_t aa = table.find("aa.counter_sort_test");
+  const size_t mm = table.find("mm.counter_sort_test");
+  const size_t zz = table.find("zz.counter_sort_test");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(mm, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, mm);
+  EXPECT_LT(mm, zz);
+}
 
 TEST(StringUtilTest, SplitBasic) {
   const auto parts = common::Split("a,b,,c", ',');

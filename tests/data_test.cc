@@ -249,6 +249,58 @@ TEST(WindowTest, ScaleApplied) {
                   .AllClose(halved.inflow_short));
 }
 
+TEST(WindowTest, ValidateHistorySlotTypedErrors) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const int k = 4;
+  const int d = 2;
+  const int first = flow.FirstPredictableSlot(k, d);
+
+  EXPECT_TRUE(ValidateHistorySlot(flow, first, k, d).ok());
+  EXPECT_TRUE(ValidateHistorySlot(flow, flow.num_slots - 1, k, d).ok());
+
+  const Status early = ValidateHistorySlot(flow, first - 1, k, d);
+  EXPECT_EQ(early.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(early.message().find("history"), std::string::npos);
+
+  EXPECT_EQ(ValidateHistorySlot(flow, flow.num_slots, k, d).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ValidateHistorySlot(flow, -1, k, d).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ValidateHistorySlot(flow, first, 0, d).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateHistorySlot(flow, first, k, -1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WindowTest, TryBuildStHistoryMatchesBuildAndRejects) {
+  CitySimulator sim(TestConfig());
+  const FlowDataset flow = BuildFlowDataset(sim.Generate());
+  const int k = 3;
+  const int d = 1;
+  const int first = flow.FirstPredictableSlot(k, d);
+
+  // A slot with insufficient history is a typed error, not a clamp: no
+  // StHistory is produced at all.
+  const Result<StHistory> early = TryBuildStHistory(flow, first - 1, k, d, 1.0f);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  Result<StHistory> built = TryBuildStHistory(flow, first + 2, k, d, 0.5f);
+  ASSERT_TRUE(built.ok());
+  const StHistory direct = BuildStHistory(flow, first + 2, k, d, 0.5f);
+  const StHistory& got = *built;
+  ASSERT_EQ(got.inflow_short.size(), direct.inflow_short.size());
+  for (int64_t i = 0; i < direct.inflow_short.size(); ++i) {
+    EXPECT_EQ(got.inflow_short.flat(i), direct.inflow_short.flat(i));
+    EXPECT_EQ(got.outflow_short.flat(i), direct.outflow_short.flat(i));
+  }
+  for (int64_t i = 0; i < direct.inflow_long.size(); ++i) {
+    EXPECT_EQ(got.inflow_long.flat(i), direct.inflow_long.flat(i));
+    EXPECT_EQ(got.outflow_long.flat(i), direct.outflow_long.flat(i));
+  }
+}
+
 TEST(WindowTest, SeriesWindows) {
   CitySimulator sim(TestConfig());
   const FlowDataset flow = BuildFlowDataset(sim.Generate());

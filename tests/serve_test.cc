@@ -1,0 +1,484 @@
+// Serving runtime battery: feature-ring assembly parity and wraparound,
+// typed insufficient-history errors, latency histogram, model registry
+// hot-swap (including the checkpoint path), micro-batched serving that is
+// bit-identical to a direct StgnnDjdModel::Forward at 1/2/7 workers,
+// hot-swap under load with zero dropped or torn requests, and the
+// admission-control / deadline shedding semantics. Runs under TSAN in CI.
+
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "data/window.h"
+#include "gtest/gtest.h"
+#include "nn/serialize.h"
+#include "serve/feature_ring.h"
+#include "serve/histogram.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_service.h"
+
+namespace stgnn::serve {
+namespace {
+
+using tensor::Tensor;
+
+// A small deterministic flow dataset: integer-count flow matrices with the
+// demand/supply row sums the paper defines. Big enough to exercise the
+// model, small enough for TSAN.
+data::FlowDataset MakeFlow(int n = 8, int slots_per_day = 6, int days = 4) {
+  data::FlowDataset flow;
+  flow.city_name = "serve-test";
+  flow.num_stations = n;
+  flow.slots_per_day = slots_per_day;
+  flow.num_slots = slots_per_day * days;
+  common::Rng rng(99);
+  flow.demand = Tensor({flow.num_slots, n});
+  flow.supply = Tensor({flow.num_slots, n});
+  for (int t = 0; t < flow.num_slots; ++t) {
+    Tensor in({n, n});
+    Tensor out({n, n});
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        in.at(i, j) = static_cast<float>(rng.UniformInt(4));
+        out.at(i, j) = static_cast<float>(rng.UniformInt(4));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      float demand = 0.0f;
+      float supply = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        demand += out.at(i, j);
+        supply += in.at(i, j);
+      }
+      flow.demand.at(t, i) = demand;
+      flow.supply.at(t, i) = supply;
+    }
+    flow.inflow.push_back(std::move(in));
+    flow.outflow.push_back(std::move(out));
+  }
+  flow.train_end = slots_per_day * (days - 2);
+  flow.val_end = slots_per_day * (days - 1);
+  flow.max_train_flow = 3.0f;
+  return flow;
+}
+
+core::StgnnConfig TestConfig(int k = 3, int d = 1) {
+  core::StgnnConfig config;
+  config.short_term_slots = k;
+  config.long_term_days = d;
+  config.fcg_layers = 1;
+  config.pcg_layers = 1;
+  config.attention_heads = 2;
+  config.dropout = 0.0f;
+  config.horizon = 1;
+  config.seed = 5;
+  return config;
+}
+
+std::shared_ptr<const core::StgnnDjdModel> MakeModel(
+    int n, const core::StgnnConfig& config, uint64_t seed) {
+  common::Rng rng(seed);
+  return std::make_shared<const core::StgnnDjdModel>(n, config, &rng);
+}
+
+// The direct (non-serving) prediction path: Forward -> Denormalize -> Relu,
+// exactly like StgnnDjdPredictor::PredictHorizon.
+Tensor DirectPrediction(const core::StgnnDjdModel& model,
+                        const data::MinMaxNormalizer& normalizer,
+                        const data::StHistory& history) {
+  const autograd::Variable out =
+      model.Forward(history, /*training=*/false, nullptr);
+  return tensor::Relu(normalizer.Denormalize(out.value()));
+}
+
+void FillRing(FeatureRing* ring, const data::FlowDataset& flow, int upto) {
+  for (int t = ring->next_slot(); t < upto; ++t) {
+    ASSERT_TRUE(ring->Push(t, flow.inflow[t], flow.outflow[t]).ok());
+  }
+}
+
+void ExpectBitEqual(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.flat(i), want.flat(i)) << "element " << i;
+  }
+}
+
+// --- FeatureRing -----------------------------------------------------------
+
+TEST(FeatureRingTest, MatchesBuildStHistoryAcrossWraparound) {
+  const data::FlowDataset flow = MakeFlow();
+  const int k = 3;
+  const int d = 1;
+  const float scale = 0.5f;
+  FeatureRing ring(flow.num_stations, k, d, flow.slots_per_day, scale);
+  // window = max(3, 6) = 6, capacity 8; pushing all 24 slots wraps the
+  // storage three times. At every frontier the assembled history must be
+  // bit-identical to the offline BuildStHistory.
+  ASSERT_EQ(ring.capacity(), 8);
+  for (int t = 0; t < flow.num_slots; ++t) {
+    if (t >= ring.first_predictable_slot()) {
+      ASSERT_TRUE(ring.ReadyFor(t));
+      const Result<data::StHistory> assembled = ring.History(t);
+      ASSERT_TRUE(assembled.ok()) << assembled.status().ToString();
+      const data::StHistory direct =
+          data::BuildStHistory(flow, t, k, d, scale);
+      ExpectBitEqual((*assembled).inflow_short, direct.inflow_short);
+      ExpectBitEqual((*assembled).outflow_short, direct.outflow_short);
+      ExpectBitEqual((*assembled).inflow_long, direct.inflow_long);
+      ExpectBitEqual((*assembled).outflow_long, direct.outflow_long);
+    }
+    ASSERT_TRUE(ring.Push(t, flow.inflow[t], flow.outflow[t]).ok());
+  }
+}
+
+TEST(FeatureRingTest, TypedErrors) {
+  const data::FlowDataset flow = MakeFlow();
+  FeatureRing ring(flow.num_stations, 3, 1, flow.slots_per_day, 1.0f);
+  FillRing(&ring, flow, flow.num_slots);
+  const int frontier = ring.next_slot();
+
+  // Insufficient history is a typed error, not an abort or a clamp.
+  EXPECT_EQ(ring.History(ring.first_predictable_slot() - 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Beyond the ingest frontier: the history does not exist yet.
+  EXPECT_EQ(ring.History(frontier + 1).status().code(),
+            StatusCode::kOutOfRange);
+  // Far enough behind the frontier that the ring overwrote its context.
+  const Status overwritten = ring.History(frontier - 5).status();
+  EXPECT_EQ(overwritten.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(overwritten.message().find("overwritten"), std::string::npos);
+  // Out-of-order ingest and shape mismatches are rejected.
+  EXPECT_EQ(ring.Push(frontier + 2, flow.inflow[0], flow.outflow[0]).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ring.Push(frontier, Tensor({2, 2}), Tensor({2, 2})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- LatencyHistogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesAndMean) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.PercentileNs(50), 0.0);
+  for (int i = 1; i <= 100; ++i) hist.Record(i * 1000);  // 1..100 us
+  EXPECT_EQ(hist.count(), 100);
+  EXPECT_NEAR(hist.MeanNs(), 50500.0, 1.0);  // exact sum, not bucketed
+  // Bucketed estimates: within the 25% geometric bucket width.
+  EXPECT_NEAR(hist.PercentileNs(50), 50000.0, 50000.0 * 0.25);
+  EXPECT_NEAR(hist.PercentileNs(95), 95000.0, 95000.0 * 0.25);
+  EXPECT_NEAR(hist.PercentileNs(99), 99000.0, 99000.0 * 0.25);
+  EXPECT_GE(hist.PercentileNs(99), hist.PercentileNs(50));
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.MeanNs(), 0.0);
+}
+
+// --- ModelRegistry ---------------------------------------------------------
+
+TEST(ModelRegistryTest, PublishAssignsMonotonicVersions) {
+  const data::FlowDataset flow = MakeFlow();
+  const core::StgnnConfig config = TestConfig();
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(
+      flow.demand, flow.supply, flow.train_end);
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.current_version(), 0u);
+  EXPECT_EQ(registry.Publish(ModelSnapshot(
+                MakeModel(flow.num_stations, config, 5), normalizer, 1.0f,
+                config)),
+            1u);
+  EXPECT_EQ(registry.Publish(ModelSnapshot(
+                MakeModel(flow.num_stations, config, 6), normalizer, 1.0f,
+                config)),
+            2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+  EXPECT_EQ(registry.Current()->version, 2u);
+}
+
+TEST(ModelRegistryTest, SnapshotFromCheckpointReproducesForward) {
+  const data::FlowDataset flow = MakeFlow();
+  const core::StgnnConfig config = TestConfig();
+  const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(
+      flow.demand, flow.supply, flow.train_end);
+  const auto trained = MakeModel(flow.num_stations, config, 1234);
+  const std::string path = ::testing::TempDir() + "/serve_ckpt.bin";
+  ASSERT_TRUE(nn::SaveParameters(*trained, path).ok());
+
+  Result<ModelSnapshot> loaded = SnapshotFromCheckpoint(
+      config, flow.num_stations, path, normalizer, 1.0f);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const int t = flow.FirstPredictableSlot(config.short_term_slots,
+                                          config.long_term_days);
+  const data::StHistory history = data::BuildStHistory(
+      flow, t, config.short_term_slots, config.long_term_days, 1.0f);
+  ExpectBitEqual(DirectPrediction(*(*loaded).model, normalizer, history),
+                 DirectPrediction(*trained, normalizer, history));
+
+  EXPECT_FALSE(SnapshotFromCheckpoint(config, flow.num_stations,
+                                      path + ".missing", normalizer, 1.0f)
+                   .ok());
+}
+
+// --- PredictionService -----------------------------------------------------
+
+struct ServingHarness {
+  explicit ServingHarness(ServiceOptions options, int upto_slot = -1)
+      : flow(MakeFlow()),
+        config(TestConfig()),
+        scale(1.0f / flow.max_train_flow),
+        normalizer(data::MinMaxNormalizer::Fit(flow.demand, flow.supply,
+                                               flow.train_end)),
+        ring(flow.num_stations, config.short_term_slots,
+             config.long_term_days, flow.slots_per_day, scale),
+        model(MakeModel(flow.num_stations, config, 5)),
+        service(&registry, &ring, options) {
+    const int frontier =
+        upto_slot >= 0 ? upto_slot : ring.first_predictable_slot() + 4;
+    for (int t = 0; t < frontier; ++t) {
+      const Status st = ring.Push(t, flow.inflow[t], flow.outflow[t]);
+      STGNN_CHECK(st.ok()) << st.ToString();
+    }
+  }
+
+  void PublishModel() {
+    registry.Publish(ModelSnapshot(model, normalizer, scale, config));
+  }
+
+  Tensor Expected(int t) const {
+    return DirectPrediction(
+        *model, normalizer,
+        data::BuildStHistory(flow, t, config.short_term_slots,
+                             config.long_term_days, scale));
+  }
+
+  data::FlowDataset flow;
+  core::StgnnConfig config;
+  float scale;
+  data::MinMaxNormalizer normalizer;
+  ModelRegistry registry;
+  FeatureRing ring;
+  std::shared_ptr<const core::StgnnDjdModel> model;
+  PredictionService service;
+};
+
+TEST(PredictionServiceTest, BatchedServingMatchesDirectForward) {
+  for (int workers : {1, 2, 7}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ServingHarness h({.num_workers = workers, .max_batch = 4,
+                      .max_queue = 64});
+    h.PublishModel();
+    h.service.Start();
+    const int frontier = h.ring.next_slot();
+    const Tensor expected = h.Expected(frontier);
+
+    const std::vector<std::vector<int>> station_sets = {
+        {}, {0}, {2, 4}, {1, 0, 3}, {7, 6, 5, 4, 3, 2, 1, 0}};
+    std::vector<std::future<PredictResponse>> futures;
+    for (int i = 0; i < 15; ++i) {
+      PredictRequest request;
+      // Mix "latest" with the same slot named explicitly: both resolve to
+      // the frontier and must coalesce into shared batches.
+      request.slot = (i % 2 == 0) ? PredictRequest::kLatestSlot : frontier;
+      request.stations = station_sets[i % station_sets.size()];
+      futures.push_back(h.service.SubmitAsync(std::move(request)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      PredictResponse response = futures[i].get();
+      ASSERT_TRUE(response.ok()) << response.status.ToString();
+      EXPECT_EQ(response.slot, frontier);
+      EXPECT_EQ(response.model_version, 1u);
+      EXPECT_GE(response.batch_size, 1);
+      EXPECT_LE(response.batch_size, 4);
+      EXPECT_GE(response.latency_ns, 0);
+      const std::vector<int>& stations =
+          station_sets[i % station_sets.size()];
+      const int rows = stations.empty() ? h.flow.num_stations
+                                        : static_cast<int>(stations.size());
+      ASSERT_EQ(response.predictions.shape(), (tensor::Shape{rows, 2}));
+      for (int r = 0; r < rows; ++r) {
+        const int src = stations.empty() ? r : stations[r];
+        ASSERT_EQ(response.predictions.at(r, 0), expected.at(src, 0));
+        ASSERT_EQ(response.predictions.at(r, 1), expected.at(src, 1));
+      }
+    }
+
+    // Advance the frontier and serve the next slot: still bit-identical.
+    ASSERT_TRUE(h.ring
+                    .Push(frontier, h.flow.inflow[frontier],
+                          h.flow.outflow[frontier])
+                    .ok());
+    PredictResponse next = h.service.Predict({});
+    ASSERT_TRUE(next.ok()) << next.status.ToString();
+    EXPECT_EQ(next.slot, frontier + 1);
+    ExpectBitEqual(next.predictions, h.Expected(frontier + 1));
+
+    const ServiceStats stats = h.service.stats();
+    EXPECT_EQ(stats.submitted, 16);
+    EXPECT_EQ(stats.served, 16);
+    EXPECT_EQ(stats.shed_queue_full + stats.shed_deadline + stats.failed, 0);
+    EXPECT_GE(stats.batches, 1);
+    EXPECT_EQ(h.service.latency_histogram().count(), 16);
+  }
+}
+
+TEST(PredictionServiceTest, HotSwapUnderLoadDropsAndTearsNothing) {
+  ServingHarness h({.num_workers = 2, .max_batch = 8, .max_queue = 4096});
+  const auto model_b = MakeModel(h.flow.num_stations, h.config, 77);
+  const int frontier = h.ring.next_slot();
+  const Tensor expected_a = h.Expected(frontier);
+  const Tensor expected_b = DirectPrediction(
+      *model_b, h.normalizer,
+      data::BuildStHistory(h.flow, frontier, h.config.short_term_slots,
+                           h.config.long_term_days, h.scale));
+
+  // v1 = A; the swapper then alternates B, A, B, ... so even versions are
+  // B and odd versions are A.
+  h.PublishModel();
+  h.service.Start();
+
+  std::thread swapper([&] {
+    for (int i = 0; i < 20; ++i) {
+      if (i % 2 == 0) {
+        h.registry.Publish(
+            ModelSnapshot(model_b, h.normalizer, h.scale, h.config));
+      } else {
+        h.registry.Publish(
+            ModelSnapshot(h.model, h.normalizer, h.scale, h.config));
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kRequests = 150;
+  std::vector<std::future<PredictResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(h.service.SubmitAsync({}));
+  }
+  swapper.join();
+
+  for (auto& future : futures) {
+    PredictResponse response = future.get();
+    // Zero dropped: every request gets a real prediction through all the
+    // swaps. Zero torn: the rows must be bitwise one model's output, the
+    // one named by the reported version.
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    ASSERT_GE(response.model_version, 1u);
+    ASSERT_LE(response.model_version, 21u);
+    const Tensor& expected =
+        (response.model_version % 2 == 1) ? expected_a : expected_b;
+    ExpectBitEqual(response.predictions, expected);
+  }
+  const ServiceStats stats = h.service.stats();
+  EXPECT_EQ(stats.served, kRequests);
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_deadline + stats.failed, 0);
+  EXPECT_EQ(h.registry.current_version(), 21u);
+}
+
+TEST(PredictionServiceTest, QueueFullRejectsAtAdmission) {
+  ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 2});
+  h.PublishModel();
+  // Workers not started yet: the first two requests occupy the bounded
+  // queue, the third must be rejected immediately.
+  auto first = h.service.SubmitAsync({});
+  auto second = h.service.SubmitAsync({});
+  PredictResponse third = h.service.SubmitAsync({}).get();
+  EXPECT_EQ(third.kind, PredictResponse::Kind::kRejectedQueueFull);
+
+  h.service.Start();
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  const ServiceStats stats = h.service.stats();
+  EXPECT_EQ(stats.shed_queue_full, 1);
+  EXPECT_EQ(stats.served, 2);
+}
+
+TEST(PredictionServiceTest, DeadlineShedsExpiredRequests) {
+  ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 16});
+  h.PublishModel();
+  PredictRequest expired;
+  expired.deadline_ns = common::trace::NowNs() - 1;
+  auto shed = h.service.SubmitAsync(std::move(expired));
+  PredictRequest fresh;
+  fresh.deadline_ns = common::trace::NowNs() + int64_t{60} * 1000000000;
+  auto served = h.service.SubmitAsync(std::move(fresh));
+
+  h.service.Start();
+  EXPECT_EQ(shed.get().kind, PredictResponse::Kind::kRejectedDeadline);
+  EXPECT_TRUE(served.get().ok());
+  const ServiceStats stats = h.service.stats();
+  EXPECT_EQ(stats.shed_deadline, 1);
+  EXPECT_EQ(stats.served, 1);
+}
+
+TEST(PredictionServiceTest, StopDrainsQueueAndRejectsLateSubmits) {
+  ServingHarness h({.num_workers = 2, .max_batch = 4, .max_queue = 64});
+  h.PublishModel();
+  std::vector<std::future<PredictResponse>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(h.service.SubmitAsync({}));
+  h.service.Start();
+  h.service.Stop();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().ok());  // drained, not dropped
+  }
+  PredictResponse late = h.service.Predict({});
+  EXPECT_EQ(late.kind, PredictResponse::Kind::kFailed);
+  EXPECT_EQ(late.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PredictionServiceTest, TypedFailures) {
+  // No model published.
+  {
+    ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 16});
+    h.service.Start();
+    PredictResponse response = h.service.Predict({});
+    EXPECT_EQ(response.kind, PredictResponse::Kind::kFailed);
+    EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  }
+  // Station index outside [0, n) fails that request only.
+  {
+    ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 16});
+    h.PublishModel();
+    h.service.Start();
+    PredictRequest bad;
+    bad.stations = {h.flow.num_stations + 3};
+    auto bad_future = h.service.SubmitAsync(std::move(bad));
+    auto good_future = h.service.SubmitAsync({});
+    PredictResponse bad_response = bad_future.get();
+    EXPECT_EQ(bad_response.kind, PredictResponse::Kind::kFailed);
+    EXPECT_EQ(bad_response.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_TRUE(good_future.get().ok());
+  }
+  // Published model whose window disagrees with the ring.
+  {
+    ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 16});
+    core::StgnnConfig other = h.config;
+    other.short_term_slots += 1;
+    h.registry.Publish(ModelSnapshot(
+        MakeModel(h.flow.num_stations, other, 5), h.normalizer, h.scale,
+        other));
+    h.service.Start();
+    PredictResponse response = h.service.Predict({});
+    EXPECT_EQ(response.kind, PredictResponse::Kind::kFailed);
+    EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(response.status.message().find("does not match"),
+              std::string::npos);
+  }
+  // A slot with no history yet (ahead of the frontier) fails typed.
+  {
+    ServingHarness h({.num_workers = 1, .max_batch = 4, .max_queue = 16});
+    h.PublishModel();
+    h.service.Start();
+    PredictRequest ahead;
+    ahead.slot = h.ring.next_slot() + 3;
+    PredictResponse response = h.service.Predict(std::move(ahead));
+    EXPECT_EQ(response.kind, PredictResponse::Kind::kFailed);
+    EXPECT_EQ(response.status.code(), StatusCode::kOutOfRange);
+  }
+}
+
+}  // namespace
+}  // namespace stgnn::serve

@@ -1,0 +1,380 @@
+// Load-test harness for the serving runtime.
+//
+// Replays city-simulator traffic against a PredictionService: per graph
+// size n it generates a synthetic city, fills a FeatureRing with the
+// observed flow slots, publishes an StgnnDjd snapshot, then drives the
+// service and records throughput, the micro-batch size distribution, tail
+// latency (p50/p95/p99 from the always-on serving histogram), and the shed
+// rate to a tracked JSON (BENCH_serve.json).
+//
+// Two runs per n:
+//   - "saturation": closed-loop with a deep in-flight window, so the queue
+//     is never empty and the service batches as hard as max_batch allows;
+//   - "batch1": the same load against max_batch = 1, the no-batching
+//     baseline the speedup claim is measured against.
+// With --qps the saturation run becomes open-loop (paced submission), which
+// is what the CI smoke uses: a low rate that a healthy service must absorb
+// with zero sheds.
+//
+// Usage: stgnn_serve [--n 128,256,512] [--workers W] [--max-batch B]
+//                    [--queue Q] [--requests R] [--qps QPS] [--out PATH]
+//                    [--smoke]
+// Regenerate the tracked record from the repo root with:
+//   ./build/tools/stgnn_serve --out BENCH_serve.json
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/stgnn_djd.h"
+#include "data/city_simulator.h"
+#include "data/flow_dataset.h"
+#include "serve/feature_ring.h"
+#include "serve/model_registry.h"
+#include "serve/prediction_service.h"
+
+namespace stgnn {
+namespace {
+
+struct Options {
+  std::vector<int> sizes = {128, 256, 512};
+  int workers = 2;
+  int max_batch = 16;
+  int max_queue = 1024;
+  int requests = 96;  // saturation-run request count per n
+  double qps = 0.0;   // 0 = closed-loop saturation
+  std::string out = "BENCH_serve.json";
+  bool smoke = false;
+};
+
+struct RunResult {
+  std::string mode;
+  int n = 0;
+  int workers = 0;
+  int max_batch = 0;
+  int64_t requests = 0;
+  int64_t served = 0;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  double mean_batch = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  std::vector<int64_t> batch_size_counts;
+};
+
+// The serving fixture for one graph size: simulated city, ring warmed with
+// every slot up to the frontier, and a published (untrained — serving cost
+// does not depend on the weights) model snapshot.
+struct Fixture {
+  explicit Fixture(int n) {
+    data::CityConfig city = data::CityConfig::Tiny();
+    if (n > 8) {
+      city.name = "serve-" + std::to_string(n);
+      city.num_districts = 16;
+      city.stations_per_district = n / 16;
+      STGNN_CHECK_EQ(city.num_districts * city.stations_per_district, n)
+          << "--n values must be multiples of 16";
+    }
+    // One-hour slots over two days: enough history for k=8 slots plus
+    // d=1 day at a load-test-friendly forward cost.
+    city.slot_minutes = 60;
+    city.num_days = 2;
+    data::TripDataset trips = data::CitySimulator(city).Generate();
+    data::CleanseTrips(&trips);
+    flow = std::make_unique<data::FlowDataset>(data::BuildFlowDataset(trips));
+
+    config.short_term_slots = 8;
+    config.long_term_days = 1;
+    config.fcg_layers = 1;
+    config.pcg_layers = 1;
+    config.attention_heads = 2;
+    config.dropout = 0.0f;
+    config.horizon = 1;
+    config.seed = 7;
+    const float scale =
+        config.input_scale_multiplier / flow->max_train_flow;
+
+    ring = std::make_unique<serve::FeatureRing>(
+        flow->num_stations, config.short_term_slots, config.long_term_days,
+        flow->slots_per_day, scale);
+    // Warm the ring past the first predictable slot; requests then ask for
+    // "latest" like an online caller would.
+    const int frontier = ring->first_predictable_slot() + 6;
+    STGNN_CHECK_LT(frontier, flow->num_slots);
+    for (int t = 0; t < frontier; ++t) {
+      const Status st = ring->Push(t, flow->inflow[t], flow->outflow[t]);
+      STGNN_CHECK(st.ok()) << st.ToString();
+    }
+
+    common::Rng rng(config.seed);
+    auto model = std::make_shared<const core::StgnnDjdModel>(
+        flow->num_stations, config, &rng);
+    const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(
+        flow->demand, flow->supply, flow->train_end);
+    registry.Publish(
+        serve::ModelSnapshot(model, normalizer, scale, config));
+  }
+
+  std::unique_ptr<data::FlowDataset> flow;
+  core::StgnnConfig config;
+  std::unique_ptr<serve::FeatureRing> ring;
+  serve::ModelRegistry registry;
+};
+
+// Drives `requests` kLatestSlot queries through a fresh service. qps > 0
+// paces submission open-loop; qps == 0 keeps a deep window of futures in
+// flight so the workers always find a full queue (saturation).
+RunResult Drive(const std::string& mode, Fixture* fixture,
+                const serve::ServiceOptions& service_options, int requests,
+                double qps) {
+  serve::PredictionService service(&fixture->registry, fixture->ring.get(),
+                                   service_options);
+  service.Start();
+
+  const int window = qps > 0.0 ? service_options.max_queue
+                               : 4 * service_options.max_batch;
+  std::deque<std::future<serve::PredictResponse>> inflight;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  auto account = [&](serve::PredictResponse response) {
+    switch (response.kind) {
+      case serve::PredictResponse::Kind::kOk:
+        break;
+      case serve::PredictResponse::Kind::kRejectedQueueFull:
+      case serve::PredictResponse::Kind::kRejectedDeadline:
+        ++shed;
+        break;
+      case serve::PredictResponse::Kind::kFailed:
+        ++failed;
+        std::fprintf(stderr, "  request failed: %s\n",
+                     response.status.ToString().c_str());
+        break;
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    if (qps > 0.0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(i / qps)));
+    }
+    inflight.push_back(service.SubmitAsync({}));
+    while (static_cast<int>(inflight.size()) >= window) {
+      account(inflight.front().get());
+      inflight.pop_front();
+    }
+  }
+  while (!inflight.empty()) {
+    account(inflight.front().get());
+    inflight.pop_front();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Stop();
+
+  const serve::ServiceStats stats = service.stats();
+  const serve::LatencyHistogram& hist = service.latency_histogram();
+  RunResult result;
+  result.mode = mode;
+  result.n = fixture->flow->num_stations;
+  result.workers = service_options.num_workers;
+  result.max_batch = service_options.max_batch;
+  result.requests = requests;
+  result.served = stats.served;
+  result.shed = shed;
+  result.failed = failed;
+  result.wall_s = wall_s;
+  result.throughput_rps = wall_s > 0.0 ? stats.served / wall_s : 0.0;
+  result.mean_batch =
+      stats.batches > 0
+          ? static_cast<double>(stats.served) / stats.batches
+          : 0.0;
+  result.mean_us = hist.MeanNs() / 1e3;
+  result.p50_us = hist.PercentileNs(50) / 1e3;
+  result.p95_us = hist.PercentileNs(95) / 1e3;
+  result.p99_us = hist.PercentileNs(99) / 1e3;
+  result.batch_size_counts = stats.batch_size_counts;
+  return result;
+}
+
+int WriteJson(const std::string& path, const Options& options,
+              const std::vector<RunResult>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", common::HardwareThreads());
+  std::fprintf(f,
+               "  \"model\": \"untrained StgnnDjd k=8 d=1 fcg=1 pcg=1 "
+               "heads=2, hourly slots\",\n");
+  std::fprintf(f, "  \"qps\": %.1f,\n", options.qps);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"n\": %d, \"workers\": %d, "
+        "\"max_batch\": %d, \"requests\": %lld, \"served\": %lld, "
+        "\"shed\": %lld, \"failed\": %lld, \"wall_s\": %.3f, "
+        "\"throughput_rps\": %.2f, \"mean_batch_size\": %.2f,\n"
+        "     \"latency_us\": {\"mean\": %.1f, \"p50\": %.1f, "
+        "\"p95\": %.1f, \"p99\": %.1f},\n"
+        "     \"batch_size_counts\": [",
+        r.mode.c_str(), r.n, r.workers, r.max_batch,
+        static_cast<long long>(r.requests), static_cast<long long>(r.served),
+        static_cast<long long>(r.shed), static_cast<long long>(r.failed),
+        r.wall_s, r.throughput_rps, r.mean_batch, r.mean_us, r.p50_us,
+        r.p95_us, r.p99_us);
+    for (size_t b = 0; b < r.batch_size_counts.size(); ++b) {
+      std::fprintf(f, "%s%lld", b > 0 ? ", " : "",
+                   static_cast<long long>(r.batch_size_counts[b]));
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_vs_batch1\": {");
+  bool first = true;
+  for (const RunResult& r : runs) {
+    if (r.mode != "saturation") continue;
+    for (const RunResult& base : runs) {
+      if (base.mode == "batch1" && base.n == r.n &&
+          base.throughput_rps > 0.0) {
+        std::fprintf(f, "%s\"%d\": %.2f", first ? "" : ", ", r.n,
+                     r.throughput_rps / base.throughput_rps);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+int Main(const Options& options) {
+  std::vector<RunResult> runs;
+  for (int n : options.sizes) {
+    std::fprintf(stderr, "n=%d: generating city + warming ring...\n", n);
+    Fixture fixture(n);
+    serve::ServiceOptions batched;
+    batched.num_workers = options.workers;
+    batched.max_batch = options.max_batch;
+    batched.max_queue = options.max_queue;
+
+    const char* mode = options.qps > 0.0 ? "paced" : "saturation";
+    std::fprintf(stderr, "n=%d: %s run (%d requests)...\n", n, mode,
+                 options.requests);
+    runs.push_back(
+        Drive(mode, &fixture, batched, options.requests, options.qps));
+
+    if (!options.smoke) {
+      // The no-batching baseline: same service, max_batch = 1, fewer
+      // requests (each one pays a full forward).
+      serve::ServiceOptions single = batched;
+      single.max_batch = 1;
+      const int base_requests = std::max(8, options.requests / 12);
+      std::fprintf(stderr, "n=%d: batch1 baseline (%d requests)...\n", n,
+                   base_requests);
+      runs.push_back(Drive("batch1", &fixture, single, base_requests, 0.0));
+    }
+  }
+
+  const int rc = WriteJson(options.out, options, runs);
+  if (rc != 0) return rc;
+
+  for (const RunResult& r : runs) {
+    std::fprintf(stderr,
+                 "  %-10s n=%-4d served=%-4lld shed=%-3lld "
+                 "throughput=%8.2f req/s mean_batch=%5.2f p99=%.0f us\n",
+                 r.mode.c_str(), r.n, static_cast<long long>(r.served),
+                 static_cast<long long>(r.shed), r.throughput_rps,
+                 r.mean_batch, r.p99_us);
+  }
+
+  if (options.smoke) {
+    // A healthy service must absorb the smoke load completely.
+    for (const RunResult& r : runs) {
+      if (r.shed != 0 || r.failed != 0 || r.served != r.requests) {
+        std::fprintf(stderr,
+                     "smoke FAILED: n=%d served=%lld/%lld shed=%lld "
+                     "failed=%lld\n",
+                     r.n, static_cast<long long>(r.served),
+                     static_cast<long long>(r.requests),
+                     static_cast<long long>(r.shed),
+                     static_cast<long long>(r.failed));
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "smoke OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace stgnn
+
+int main(int argc, char** argv) {
+  stgnn::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      options.sizes.clear();
+      for (const std::string& part : stgnn::common::Split(next(), ',')) {
+        options.sizes.push_back(
+            stgnn::common::ParseInt(part).ValueOrDie());
+      }
+    } else if (arg == "--workers") {
+      options.workers = stgnn::common::ParseInt(next()).ValueOrDie();
+    } else if (arg == "--max-batch") {
+      options.max_batch = stgnn::common::ParseInt(next()).ValueOrDie();
+    } else if (arg == "--queue") {
+      options.max_queue = stgnn::common::ParseInt(next()).ValueOrDie();
+    } else if (arg == "--requests") {
+      options.requests = stgnn::common::ParseInt(next()).ValueOrDie();
+    } else if (arg == "--qps") {
+      options.qps = stgnn::common::ParseDouble(next()).ValueOrDie();
+    } else if (arg == "--out") {
+      options.out = next();
+    } else if (arg == "--smoke") {
+      // Tiny city, gentle paced load, hard-fail on any shed: the CI
+      // liveness check for the serving path.
+      options.smoke = true;
+      options.sizes = {8};
+      options.requests = 40;
+      options.qps = 50.0;
+      options.max_batch = 8;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return stgnn::Main(options);
+}
