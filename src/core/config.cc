@@ -1,6 +1,7 @@
 #include "core/config.h"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "common/buffer_pool.h"
 
@@ -16,6 +17,13 @@ float DefaultSparseDensityThreshold() {
 }
 
 bool DefaultBufferPoolEnabled() { return common::BufferPoolEnabledFromEnv(); }
+
+bool DefaultServeCacheEnabled() {
+  const char* env = std::getenv("STGNN_SERVE_CACHE");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+           std::strcmp(env, "off") == 0);
+}
 
 const char* AggregatorToString(Aggregator aggregator) {
   switch (aggregator) {

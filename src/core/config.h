@@ -29,6 +29,10 @@ float DefaultSparseDensityThreshold();
 // variable (0/false/off disables), else true.
 bool DefaultBufferPoolEnabled();
 
+// Default for StgnnConfig::serve_cache: the STGNN_SERVE_CACHE environment
+// variable (0/false/off disables), else true.
+bool DefaultServeCacheEnabled();
+
 // Ablation switches matching the paper's "design variations" (Fig. 4).
 struct AblationFlags {
   bool use_flow_convolution = true;  // "No FC" when false: node features are
@@ -76,6 +80,14 @@ struct StgnnConfig {
   // are bit-identical; this is purely a performance knob. Defaults to on,
   // overridable with the STGNN_BUFFER_POOL environment variable.
   bool buffer_pool = DefaultBufferPoolEnabled();
+  // Enables the serving-side slot cache (serve::SlotCache): the
+  // PredictionService memoises the assembled window, flow-convolution
+  // embeddings, and FCG pattern per (slot, snapshot version) and replays
+  // only the staged forward tail across request batches on the same slot.
+  // Cached and cold serving paths are bit-identical, so this is purely a
+  // performance knob. Defaults to on, overridable with the
+  // STGNN_SERVE_CACHE environment variable.
+  bool serve_cache = DefaultServeCacheEnabled();
   // Prediction horizon in slots. 1 reproduces the paper's setting; larger
   // values implement the multi-step extension sketched in the paper's
   // future work (Section IX): the output layer emits

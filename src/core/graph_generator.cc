@@ -11,38 +11,53 @@ using autograd::Variable;
 namespace ag = stgnn::autograd;
 using tensor::Tensor;
 
-FlowConvolutedGraph BuildFlowConvolutedGraph(
-    const Variable& node_features, const Variable& temporal_inflow,
-    const Variable& temporal_outflow) {
-  const Tensor& inflow = temporal_inflow.value();
-  const Tensor& outflow = temporal_outflow.value();
-  STGNN_CHECK_EQ(inflow.ndim(), 2);
-  STGNN_CHECK(inflow.shape() == outflow.shape());
-  const int n = inflow.dim(0);
-  STGNN_CHECK(node_features.value().shape() == inflow.shape());
+FcgPattern BuildFcgPattern(const Tensor& temporal_inflow,
+                           const Tensor& temporal_outflow) {
+  STGNN_CHECK_EQ(temporal_inflow.ndim(), 2);
+  STGNN_CHECK(temporal_inflow.shape() == temporal_outflow.shape());
+  const int n = temporal_inflow.dim(0);
+  STGNN_CHECK_EQ(temporal_inflow.dim(1), n);
 
-  FlowConvolutedGraph graph;
+  FcgPattern pattern;
   // Edge j -> i iff Î(i, j) > 0 or Ô(j, i) > 0; self-loops always on.
   Tensor mask({n, n});
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
-      const bool edge =
-          i == j || inflow.at(i, j) > 0.0f || outflow.at(j, i) > 0.0f;
+      const bool edge = i == j || temporal_inflow.at(i, j) > 0.0f ||
+                        temporal_outflow.at(j, i) > 0.0f;
       mask.at(i, j) = edge ? 1.0f : 0.0f;
     }
   }
-  graph.edge_mask = mask;
-  graph.edge_csr =
+  pattern.edge_csr =
       std::make_shared<const tensor::Csr>(tensor::Csr::FromDense(mask));
+  pattern.edge_mask = std::move(mask);
+  return pattern;
+}
 
+FlowConvolutedGraph BuildFlowConvolutedGraphFromPattern(
+    const Variable& node_features, FcgPattern pattern) {
+  STGNN_CHECK(pattern.defined());
+  STGNN_CHECK(node_features.value().shape() == pattern.edge_mask.shape());
+  FlowConvolutedGraph graph;
+  graph.edge_mask = pattern.edge_mask;
+  graph.edge_csr = std::move(pattern.edge_csr);
   // Eq. (10): E_f(i, j) = T(i, j) / sum_k T(i, k) over the edge set. ReLU
   // keeps weights non-negative; epsilon guards empty rows.
   Variable masked =
-      ag::Mul(ag::Relu(node_features), Variable::Constant(std::move(mask)));
+      ag::Mul(ag::Relu(node_features),
+              Variable::Constant(std::move(pattern.edge_mask)));
   Variable row_sum = ag::AddScalar(ag::SumAxisKeepdims(masked, /*axis=*/1),
                                    1e-6f);
   graph.weights = ag::Div(masked, row_sum);
   return graph;
+}
+
+FlowConvolutedGraph BuildFlowConvolutedGraph(
+    const Variable& node_features, const Variable& temporal_inflow,
+    const Variable& temporal_outflow) {
+  return BuildFlowConvolutedGraphFromPattern(
+      node_features,
+      BuildFcgPattern(temporal_inflow.value(), temporal_outflow.value()));
 }
 
 const Tensor& DensePatternMask(int num_stations) {

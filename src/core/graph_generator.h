@@ -8,15 +8,28 @@
 
 namespace stgnn::core {
 
-// The flow-convoluted graph for one time slot (paper Definition 2).
-struct FlowConvolutedGraph {
-  // 0/1 edge mask: mask(i, j) = 1 iff edge j -> i exists, i.e. Î(i,j) > 0 or
-  // Ô(j,i) > 0, plus self-loops (Eq. (13) aggregates the node itself).
+// The non-differentiable topology of the flow-convoluted graph for one time
+// slot: the 0/1 edge mask and its CSR view. The pattern depends only on the
+// *values* of the slot's temporal inflow/outflow (not on the model head), so
+// a serving cache can build it once per (slot, snapshot) and reuse it across
+// request batches; the dynamic-graph roadmap items reuse the same split.
+struct FcgPattern {
+  // mask(i, j) = 1 iff edge j -> i exists, i.e. Î(i,j) > 0 or Ô(j,i) > 0,
+  // plus self-loops (Eq. (13) aggregates the node itself).
   tensor::Tensor edge_mask;  // [n, n]
-  // CSR view of the edge mask (values are the 1s), built once per slot and
-  // shared by every GNN layer of the slot: the sparse aggregation kernels
-  // (ag::SparseMatMul, the CSR MaskedNeighborMax) read the topology from
-  // here. Its density() drives the dense/sparse dispatch in FcgBranch.
+  // CSR view of the edge mask (values are the 1s), shared by every GNN
+  // layer of the slot: the sparse aggregation kernels (ag::SparseMatMul,
+  // the CSR MaskedNeighborMax) read the topology from here. Its density()
+  // drives the dense/sparse dispatch in FcgBranch.
+  std::shared_ptr<const tensor::Csr> edge_csr;
+
+  bool defined() const { return edge_csr != nullptr; }
+};
+
+// The flow-convoluted graph for one time slot (paper Definition 2):
+// the pattern plus the differentiable edge weights.
+struct FlowConvolutedGraph {
+  tensor::Tensor edge_mask;  // [n, n], see FcgPattern
   std::shared_ptr<const tensor::Csr> edge_csr;
   // Differentiable edge weights per Eq. (10): node features masked to the
   // edge set and row-normalised. ReLU is applied first so weights are
@@ -25,10 +38,19 @@ struct FlowConvolutedGraph {
   autograd::Variable weights;  // [n, n], rows sum to ~1
 };
 
-// Builds the FCG from the flow-convolution outputs of the current slot.
-// All inputs are [n, n] variables; edges are derived from the *values* of
-// the temporal inflow/outflow (graph topology is data, not differentiable),
-// while the edge weights stay differentiable through the node features.
+// Builds the edge topology from the *values* of the slot's temporal
+// inflow/outflow matrices (graph topology is data, not differentiable).
+FcgPattern BuildFcgPattern(const tensor::Tensor& temporal_inflow,
+                           const tensor::Tensor& temporal_outflow);
+
+// Attaches the differentiable Eq. (10) edge weights to an already-built
+// pattern. `node_features` must be [n, n] matching the pattern.
+FlowConvolutedGraph BuildFlowConvolutedGraphFromPattern(
+    const autograd::Variable& node_features, FcgPattern pattern);
+
+// Builds the FCG from the flow-convolution outputs of the current slot:
+// BuildFcgPattern on the temporal matrices' values, then the weights.
+// All inputs are [n, n] variables.
 FlowConvolutedGraph BuildFlowConvolutedGraph(
     const autograd::Variable& node_features,
     const autograd::Variable& temporal_inflow,

@@ -169,23 +169,19 @@ StgnnDjdModel::StgnnDjdModel(int num_stations, const StgnnConfig& config,
   RegisterSubmodule(output_layer_.get());
 }
 
-Variable StgnnDjdModel::Forward(const data::StHistory& history, bool training,
-                                common::Rng* dropout_rng) const {
-  STGNN_TRACE_SCOPE("StgnnDjd.Forward");
-  STGNN_COUNTER_INC("model.forwards");
+StgnnDjdModel::FlowStage StgnnDjdModel::RunFlowStage(
+    const data::StHistory& history) const {
   const int n = num_stations_;
-  Variable node_features;
-  Variable temporal_inflow;
-  Variable temporal_outflow;
+  FlowStage stage;
   if (config_.ablation.use_flow_convolution) {
     FlowConvolution::Output conv = flow_convolution_->Forward(history);
-    node_features = conv.node_features;
-    temporal_inflow = conv.temporal_inflow;
-    temporal_outflow = conv.temporal_outflow;
+    stage.node_features = conv.node_features;
+    stage.temporal_inflow = conv.temporal_inflow;
+    stage.temporal_outflow = conv.temporal_outflow;
   } else {
     // No-FC ablation: free learnable node features; FCG edges fall back to
     // the (un-learned) mean of the short-term flow history.
-    node_features = learned_features_;
+    stage.node_features = learned_features_;
     Tensor mean_in({n, n});
     Tensor mean_out({n, n});
     const int k = history.inflow_short.dim(0);
@@ -197,21 +193,23 @@ Variable StgnnDjdModel::Forward(const data::StHistory& history, bool training,
         }
       }
     }
-    temporal_inflow = Variable::Constant(std::move(mean_in));
-    temporal_outflow = Variable::Constant(std::move(mean_out));
+    stage.temporal_inflow = Variable::Constant(std::move(mean_in));
+    stage.temporal_outflow = Variable::Constant(std::move(mean_out));
   }
+  return stage;
+}
 
-  node_features =
-      ag::Dropout(node_features, config_.dropout, training, dropout_rng);
-
+Variable StgnnDjdModel::RunHead(const Variable& features,
+                                const FlowConvolutedGraph* graph,
+                                bool training,
+                                common::Rng* dropout_rng) const {
   std::vector<Variable> branch_outputs;
   if (config_.ablation.use_fcg) {
-    const FlowConvolutedGraph graph = BuildFlowConvolutedGraph(
-        node_features, temporal_inflow, temporal_outflow);
-    branch_outputs.push_back(fcg_branch_->Forward(node_features, graph));
+    STGNN_CHECK(graph != nullptr);
+    branch_outputs.push_back(fcg_branch_->Forward(features, *graph));
   }
   if (config_.ablation.use_pcg) {
-    branch_outputs.push_back(pcg_branch_->Forward(node_features));
+    branch_outputs.push_back(pcg_branch_->Forward(features));
   }
   // Eq. (19): concatenate branch embeddings per station.
   Variable embedding = branch_outputs.size() == 1
@@ -220,6 +218,59 @@ Variable StgnnDjdModel::Forward(const data::StHistory& history, bool training,
   embedding = ag::Dropout(embedding, config_.dropout, training, dropout_rng);
   // Eq. (20): joint demand/supply linear head.
   return output_layer_->Forward(embedding);
+}
+
+Variable StgnnDjdModel::Forward(const data::StHistory& history, bool training,
+                                common::Rng* dropout_rng) const {
+  STGNN_TRACE_SCOPE("StgnnDjd.Forward");
+  STGNN_COUNTER_INC("model.forwards");
+  const FlowStage flow = RunFlowStage(history);
+  const Variable features =
+      ag::Dropout(flow.node_features, config_.dropout, training, dropout_rng);
+  if (config_.ablation.use_fcg) {
+    // The FCG is built from the post-dropout features (identity when not
+    // training), matching the pre-split monolithic order.
+    const FlowConvolutedGraph graph = BuildFlowConvolutedGraph(
+        features, flow.temporal_inflow, flow.temporal_outflow);
+    return RunHead(features, &graph, training, dropout_rng);
+  }
+  return RunHead(features, nullptr, training, dropout_rng);
+}
+
+StgnnDjdModel::Embeddings StgnnDjdModel::ComputeEmbeddings(
+    const data::StHistory& history) const {
+  STGNN_TRACE_SCOPE("StgnnDjd.ComputeEmbeddings");
+  STGNN_COUNTER_INC("model.embedding_stages");
+  const FlowStage flow = RunFlowStage(history);
+  Embeddings embeddings;
+  embeddings.node_features = flow.node_features.value();
+  embeddings.temporal_inflow = flow.temporal_inflow.value();
+  embeddings.temporal_outflow = flow.temporal_outflow.value();
+  return embeddings;
+}
+
+FlowConvolutedGraph StgnnDjdModel::BuildGraph(
+    const Embeddings& embeddings) const {
+  STGNN_TRACE_SCOPE("StgnnDjd.BuildGraph");
+  STGNN_CHECK(config_.ablation.use_fcg)
+      << "BuildGraph on a No-FCG model";
+  return BuildFlowConvolutedGraph(
+      Variable::Constant(embeddings.node_features),
+      Variable::Constant(embeddings.temporal_inflow),
+      Variable::Constant(embeddings.temporal_outflow));
+}
+
+Tensor StgnnDjdModel::ForwardFromStages(
+    const Embeddings& embeddings, const FlowConvolutedGraph* graph) const {
+  STGNN_TRACE_SCOPE("StgnnDjd.ForwardFromStages");
+  STGNN_COUNTER_INC("model.staged_forwards");
+  STGNN_CHECK(config_.ablation.use_fcg == (graph != nullptr))
+      << "graph must be supplied iff the model has an FCG branch";
+  // Inference only: dropout is the identity when not training, so the head
+  // sees exactly the cached stage-2 values — the staged replay is
+  // bit-identical to Forward(history, false, nullptr).
+  const Variable features = Variable::Constant(embeddings.node_features);
+  return RunHead(features, graph, /*training=*/false, nullptr).value();
 }
 
 std::vector<Tensor> StgnnDjdModel::LastPcgAttention() const {

@@ -63,6 +63,17 @@ class PcgBranch : public nn::Module {
 // The STGNN-DJD network (paper Sections IV-VI): flow convolution for node
 // features, FCG + PCG graph branches, and the joint demand/supply linear
 // predictor. One Forward processes one time slot.
+//
+// The forward pass is split into explicitly cacheable stages:
+//   1. window assembly (the caller's StHistory),
+//   2. flow-convolution embeddings (ComputeEmbeddings),
+//   3. the per-slot FCG — pattern + differentiable weights (BuildGraph),
+//   4. GNN branches + attention + fusion head (ForwardFromStages).
+// Each stage is a pure function of its inputs, so the serving runtime can
+// memoise any prefix per (slot, model snapshot) and replay only the tail.
+// Forward composes exactly these stages, and inference ops are identical on
+// both paths, so a staged replay is bit-identical to the monolithic call
+// (pinned by tests/staged_forward_test.cc).
 class StgnnDjdModel : public nn::Module {
  public:
   StgnnDjdModel(int num_stations, const StgnnConfig& config,
@@ -73,6 +84,31 @@ class StgnnDjdModel : public nn::Module {
   autograd::Variable Forward(const data::StHistory& history, bool training,
                              common::Rng* dropout_rng) const;
 
+  // Stage 2 output captured as plain value tensors — the representation a
+  // serving cache stores (no autograd graph retained).
+  struct Embeddings {
+    tensor::Tensor node_features;     // T, [n, n]
+    tensor::Tensor temporal_inflow;   // Î, [n, n]
+    tensor::Tensor temporal_outflow;  // Ô, [n, n]
+  };
+
+  // Stage 2: runs the flow-convolution stage (or its No-FC fallback) in
+  // inference mode and returns the embedding values.
+  Embeddings ComputeEmbeddings(const data::StHistory& history) const;
+
+  // Stage 3: builds the slot's FCG (pattern + Eq. (10) weights) from cached
+  // embeddings. Only valid when the model has an FCG branch (uses_fcg()).
+  FlowConvolutedGraph BuildGraph(const Embeddings& embeddings) const;
+
+  // Stage 4: GNN branches + fusion head from cached stage outputs,
+  // inference only. `graph` must be non-null iff uses_fcg(). Bit-identical
+  // to Forward(history, /*training=*/false, nullptr).value() when the
+  // stages were computed from the same history by this model.
+  tensor::Tensor ForwardFromStages(const Embeddings& embeddings,
+                                   const FlowConvolutedGraph* graph) const;
+
+  bool uses_fcg() const { return config_.ablation.use_fcg; }
+
   // Attention matrices (per head) of the first PCG attention layer from the
   // most recent Forward call.
   std::vector<tensor::Tensor> LastPcgAttention() const;
@@ -80,6 +116,18 @@ class StgnnDjdModel : public nn::Module {
   int num_stations() const { return num_stations_; }
 
  private:
+  // Stage 2 with the autograd graph attached (training path).
+  struct FlowStage {
+    autograd::Variable node_features;
+    autograd::Variable temporal_inflow;
+    autograd::Variable temporal_outflow;
+  };
+  FlowStage RunFlowStage(const data::StHistory& history) const;
+  // Stage 4 on Variables: `features` is the (post-dropout) node features.
+  autograd::Variable RunHead(const autograd::Variable& features,
+                             const FlowConvolutedGraph* graph, bool training,
+                             common::Rng* dropout_rng) const;
+
   int num_stations_;
   StgnnConfig config_;
   std::unique_ptr<FlowConvolution> flow_convolution_;  // null when No-FC

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/counters.h"
 #include "common/trace.h"
@@ -41,23 +42,63 @@ Status FeatureRing::Push(int slot, const Tensor& inflow,
         tensor::ShapeToString(inflow.shape()) + " outflow " +
         tensor::ShapeToString(outflow.shape()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (slot != next_slot_) {
-    return Status::InvalidArgument(
-        "out-of-order ingest: expected slot " + std::to_string(next_slot_) +
-        ", got " + std::to_string(slot));
+  // Phase 1 (reserve): validate the slot and mark the target cell
+  // in-flight; the expensive scaled copy then runs unlocked.
+  std::function<void()> pause;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot < next_slot_) {
+      const int oldest_retained = next_slot_ - stored_;
+      return Status::FailedPrecondition(
+          "slot " + std::to_string(slot) +
+          (slot < oldest_retained ? " was already ingested and overwritten"
+                                  : " was already ingested") +
+          " (frontier " + std::to_string(next_slot_) +
+          "); re-ingest would rewrite served history");
+    }
+    if (slot > next_slot_) {
+      return Status::InvalidArgument(
+          "out-of-order ingest: expected slot " + std::to_string(next_slot_) +
+          ", got " + std::to_string(slot));
+    }
+    if (write_in_flight_) {
+      return Status::FailedPrecondition(
+          "concurrent ingest of slot " + std::to_string(next_slot_) +
+          " already in flight");
+    }
+    write_in_flight_ = true;
+    // The cell we are about to rewrite holds this retained slot (when the
+    // ring is full); a History() needing it must fail typed, not tear.
+    invalidating_slot_ = stored_ == capacity_ ? next_slot_ - capacity_ : -1;
+    pause = ingest_pause_for_test_;
   }
+  if (pause) pause();
+
+  // Pre-scale at ingest so History() is pure copies. One multiply per
+  // element, exactly like BuildStHistory's CopyFlowRow, so values are
+  // bit-identical to the offline assembly path. Runs outside the mutex:
+  // the in-flight marker keeps readers away from this cell, so History()
+  // calls for other slots proceed concurrently with the copy.
   float* in_cell = in_rows_.data() + CellOffset(slot);
   float* out_cell = out_rows_.data() + CellOffset(slot);
   const float* in_src = inflow.data().data();
   const float* out_src = outflow.data().data();
-  // Pre-scale at ingest so History() is pure copies. One multiply per
-  // element, exactly like BuildStHistory's CopyFlowRow, so values are
-  // bit-identical to the offline assembly path.
   for (size_t i = 0; i < row_size_; ++i) in_cell[i] = in_src[i] * scale_;
   for (size_t i = 0; i < row_size_; ++i) out_cell[i] = out_src[i] * scale_;
-  ++next_slot_;
-  if (stored_ < capacity_) ++stored_;
+
+  // Phase 2 (commit): publish the slot and notify the listener inside the
+  // same critical section, so no reader can see the new frontier before the
+  // derived caches were invalidated.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_in_flight_ = false;
+    invalidating_slot_ = -1;
+    ++next_slot_;
+    if (stored_ < capacity_) ++stored_;
+    if (listener_ != nullptr) {
+      listener_->OnRingAdvance(next_slot_, MinServableLocked());
+    }
+  }
   STGNN_COUNTER_INC("serve.ingested_slots");
   return Status::OK();
 }
@@ -67,8 +108,25 @@ int FeatureRing::next_slot() const {
   return next_slot_;
 }
 
+int FeatureRing::min_servable_slot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MinServableLocked();
+}
+
 bool FeatureRing::ReadyFor(int t) const {
   return History(t).ok();
+}
+
+void FeatureRing::SetListener(RingListener* listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STGNN_CHECK(listener == nullptr || listener_ == nullptr)
+      << "FeatureRing supports a single listener; clear the old one first";
+  listener_ = listener;
+}
+
+void FeatureRing::SetIngestPauseForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingest_pause_for_test_ = std::move(hook);
 }
 
 Result<data::StHistory> FeatureRing::History(int t) const {
@@ -92,6 +150,18 @@ Result<data::StHistory> FeatureRing::History(int t) const {
         std::to_string(t - window_) + ", already overwritten (ring retains [" +
         std::to_string(oldest_retained) + ", " + std::to_string(next_slot_) +
         "))");
+  }
+  // An in-flight Push is rewriting the cell that still holds
+  // `invalidating_slot_`. If t's window includes that slot, assembling now
+  // would read a half-overwritten row; fail typed instead (after the
+  // commit the same request fails as "overwritten" above).
+  if (write_in_flight_ && invalidating_slot_ >= 0 &&
+      invalidating_slot_ >= t - window_ && invalidating_slot_ < t) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(t) + " needs slot " +
+        std::to_string(invalidating_slot_) +
+        ", which an in-flight ingest is overwriting (assembly would "
+        "straddle the invalidation)");
   }
   const int n = num_stations_;
   const int row_elems = n * n;

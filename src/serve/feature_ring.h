@@ -1,6 +1,8 @@
 #ifndef STGNN_SERVE_FEATURE_RING_H_
 #define STGNN_SERVE_FEATURE_RING_H_
 
+#include <algorithm>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -9,6 +11,21 @@
 #include "tensor/tensor.h"
 
 namespace stgnn::serve {
+
+// Observer of ring frontier advances, used to invalidate derived per-slot
+// state (the serving SlotCache) in the same critical section that commits
+// the new slot — so no reader can observe the new frontier before the
+// invalidation ran.
+class RingListener {
+ public:
+  virtual ~RingListener() = default;
+
+  // Called with the ring's mutex held, immediately after a Push commits.
+  // `frontier` is the new next_slot(); `min_servable_slot` is the smallest
+  // t for which History(t) can still succeed. The callee must not call back
+  // into the ring (the mutex is held) and must be fast.
+  virtual void OnRingAdvance(int frontier, int min_servable_slot) = 0;
+};
 
 // Rolling window of per-slot flow matrices, sized to exactly the history
 // STGNN-DJD's flow convolution reads: the last k slots plus the same slot
@@ -26,8 +43,13 @@ namespace stgnn::serve {
 // History() call cannot invalidate a just-resolved request.
 //
 // Thread-safe: Push and History may be called concurrently from any
-// threads; a mutex serialises access (assembly is a handful of memcpys,
-// so the critical section is short).
+// threads. Push runs in two phases so the O(n²) scaled row copy happens
+// OUTSIDE the mutex: a short reserve step marks the target cell in-flight,
+// the copy proceeds unlocked, and a short commit step publishes the slot
+// (and notifies the listener). A History() whose window includes the cell
+// being overwritten mid-push — i.e. one that straddles the in-flight
+// invalidation — fails with a typed FailedPrecondition instead of a torn
+// read; after the commit the same request fails typed as "overwritten".
 class FeatureRing {
  public:
   // `scale` is the model's input scale (input_scale_multiplier /
@@ -43,8 +65,12 @@ class FeatureRing {
   int capacity() const { return capacity_; }
 
   // Appends the [n, n] flow matrices observed at `slot`. Slots must arrive
-  // in order with no gaps (slot == next_slot()); anything else returns
-  // InvalidArgument, as does a shape mismatch.
+  // in order with no gaps. Typed errors, never aborts:
+  //  - FailedPrecondition: `slot` was already ingested (its rows are live
+  //    or already overwritten — re-ingest would rewrite served history), or
+  //    another Push is still in flight;
+  //  - InvalidArgument: `slot` is ahead of the frontier (a gap), or the
+  //    matrices have the wrong shape.
   Status Push(int slot, const tensor::Tensor& inflow,
               const tensor::Tensor& outflow);
 
@@ -56,23 +82,42 @@ class FeatureRing {
   // max(k, d * slots_per_day), mirroring FlowDataset::FirstPredictableSlot.
   int first_predictable_slot() const { return window_; }
 
+  // Smallest t for which History(t) can currently succeed (ignoring the
+  // frontier bound): history older than this has been overwritten.
+  int min_servable_slot() const;
+
   // True iff History(t) would succeed right now.
   bool ReadyFor(int t) const;
 
   // Assembles the short/long-term flow history for predicting slot t.
   // Typed errors instead of aborts, so a serving request with insufficient
   // context is a normal rejected response:
-  //  - FailedPrecondition: t predates the first predictable slot, or the
+  //  - FailedPrecondition: t predates the first predictable slot, the
   //    slots it needs have already been overwritten (t too far behind the
-  //    frontier);
+  //    frontier), or an in-flight Push is currently overwriting a slot in
+  //    t's window (the assembly would straddle the invalidation);
   //  - OutOfRange: t is ahead of the ingest frontier (history not yet
   //    observed).
   Result<data::StHistory> History(int t) const;
+
+  // Registers the frontier-advance listener (the serving slot cache).
+  // Pass nullptr to clear. At most one listener may be registered at a
+  // time; replacing a live listener is a programming error.
+  void SetListener(RingListener* listener);
+
+  // Test-only fault-injection seam: invoked between the ingest reserve and
+  // the row copy, while no lock is held, so a test can deterministically
+  // interleave a History() call with an in-flight invalidation.
+  void SetIngestPauseForTest(std::function<void()> hook);
 
  private:
   // Row index into the flat storage for a retained slot.
   size_t CellOffset(int slot) const {
     return static_cast<size_t>(slot % capacity_) * row_size_;
+  }
+  // min_servable_slot() with mu_ already held.
+  int MinServableLocked() const {
+    return std::max(window_, next_slot_ - stored_ + window_);
   }
 
   const int num_stations_;
@@ -87,6 +132,13 @@ class FeatureRing {
   mutable std::mutex mu_;
   int next_slot_ = 0;  // slots [next_slot_ - stored_, next_slot_) retained
   int stored_ = 0;
+  // In-flight ingest state: while a Push is between reserve and commit,
+  // `invalidating_slot_` names the retained slot whose cell is being
+  // overwritten (-1 when the target cell held no live slot).
+  bool write_in_flight_ = false;
+  int invalidating_slot_ = -1;
+  RingListener* listener_ = nullptr;
+  std::function<void()> ingest_pause_for_test_;
   std::vector<float> in_rows_;   // capacity_ rows of n*n pre-scaled floats
   std::vector<float> out_rows_;
 };

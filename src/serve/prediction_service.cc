@@ -20,9 +20,15 @@ PredictionService::PredictionService(ModelRegistry* registry,
   STGNN_CHECK_GE(options_.max_batch, 1);
   STGNN_CHECK_GE(options_.max_queue, 1);
   stats_.batch_size_counts.assign(options_.max_batch + 1, 0);
+  ring_->SetListener(&cache_);
 }
 
-PredictionService::~PredictionService() { Stop(); }
+PredictionService::~PredictionService() {
+  Stop();
+  // After Stop() no worker touches the cache; deregistering under the
+  // ring's mutex also synchronises with any in-flight Push notification.
+  ring_->SetListener(nullptr);
+}
 
 void PredictionService::Start() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -201,19 +207,61 @@ void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
     return;
   }
 
-  Result<data::StHistory> history = ring_->History(slot);
-  if (!history.ok()) {
-    fail_all(history.status());
-    return;
-  }
-
-  // One Forward serves the whole micro-batch. Denormalize inside the
+  // One forward serves the whole micro-batch. Denormalize inside the
   // execution section keeps the op order identical to the direct
   // StgnnDjdPredictor::PredictHorizon path (Forward -> Denormalize ->
   // Relu), so served rows are bitwise equal to the offline path.
+  //
+  // With the snapshot's serve_cache on, the cold prefix (window assembly,
+  // embeddings, FCG) is memoised per (slot, version) and repeat batches
+  // replay only the head; the staged ops are the same ops Forward runs, so
+  // both paths produce bitwise-equal rows.
   Tensor full;
-  uint64_t version = snapshot->version;
-  {
+  const uint64_t version = snapshot->version;
+  if (snapshot->config.serve_cache) {
+    std::shared_ptr<const SlotCacheEntry> cached = cache_.Lookup(slot, version);
+    if (cached == nullptr) {
+      Result<data::StHistory> history = ring_->History(slot);
+      if (!history.ok()) {
+        fail_all(history.status());
+        return;
+      }
+      auto fresh = std::make_shared<SlotCacheEntry>();
+      fresh->slot = slot;
+      fresh->model_version = version;
+      fresh->history = std::move(*history);
+      {
+        std::lock_guard<std::mutex> exec_lock(exec_mu_);
+        fresh->embeddings = snapshot->model->ComputeEmbeddings(fresh->history);
+        if (snapshot->model->uses_fcg()) {
+          fresh->graph = snapshot->model->BuildGraph(fresh->embeddings);
+          fresh->has_graph = true;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.assemblies;
+      }
+      // May be refused if the ring overwrote the slot meanwhile; this
+      // batch still serves from the local copy.
+      cache_.Insert(fresh);
+      cached = std::move(fresh);
+    }
+    STGNN_TRACE_SCOPE("Serve.Forward");
+    std::lock_guard<std::mutex> exec_lock(exec_mu_);
+    const Tensor out = snapshot->model->ForwardFromStages(
+        cached->embeddings, cached->has_graph ? &cached->graph : nullptr);
+    full = snapshot->normalizer.Denormalize(out);
+  } else {
+    Result<data::StHistory> history = ring_->History(slot);
+    if (!history.ok()) {
+      fail_all(history.status());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.assemblies;
+    }
     STGNN_TRACE_SCOPE("Serve.Forward");
     std::lock_guard<std::mutex> exec_lock(exec_mu_);
     const autograd::Variable out =

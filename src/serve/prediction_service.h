@@ -13,6 +13,7 @@
 #include "serve/feature_ring.h"
 #include "serve/histogram.h"
 #include "serve/model_registry.h"
+#include "serve/slot_cache.h"
 #include "tensor/tensor.h"
 
 namespace stgnn::serve {
@@ -78,6 +79,11 @@ struct ServiceStats {
   int64_t shed_deadline = 0;
   int64_t failed = 0;
   int64_t batches = 0;
+  // Batches that ran the full cold prefix — window assembly, embeddings,
+  // FCG build — instead of replaying a SlotCache entry. With the cache on,
+  // steady state is one assembly per (slot, snapshot); with it off, every
+  // batch assembles.
+  int64_t assemblies = 0;
   std::vector<int64_t> batch_size_counts;
 };
 
@@ -97,6 +103,16 @@ struct ServiceStats {
 // Every response is accounted exactly once: served, shed (queue_full /
 // deadline), or failed with a typed status — Stop() drains the queue
 // before the workers exit, so no request is ever silently dropped.
+//
+// Slot cache: when the live snapshot's config has serve_cache set (the
+// default; STGNN_SERVE_CACHE=0 flips it), the service memoises the cold
+// prefix — assembled window, flow-convolution embeddings, FCG pattern +
+// weights — per (slot, snapshot version) in a SlotCache registered as the
+// ring's advance listener, and replays only ForwardFromStages for repeat
+// batches on the same slot. Cached and cold paths are bit-identical
+// (pinned by tests/serve_cache_test.cc), so the knob is purely about
+// latency. The service registers itself as the ring's listener: at most
+// one PredictionService per FeatureRing.
 class PredictionService {
  public:
   PredictionService(ModelRegistry* registry, FeatureRing* ring,
@@ -125,6 +141,9 @@ class PredictionService {
   ServiceStats stats() const;
   const LatencyHistogram& latency_histogram() const { return latency_; }
   const ServiceOptions& options() const { return options_; }
+  // Hit/miss/invalidation counts of the serving slot cache (zeros while
+  // the live snapshot has serve_cache off — the cache is never consulted).
+  const SlotCache::Stats& cache_stats() const { return cache_.stats(); }
 
  private:
   struct Entry {
@@ -141,6 +160,10 @@ class PredictionService {
   ModelRegistry* const registry_;
   FeatureRing* const ring_;
   const ServiceOptions options_;
+  // Memoised serving prefixes, invalidated via RingListener. Constructed
+  // before and destroyed after the workers; the destructor deregisters it
+  // from the ring before tearing anything down.
+  SlotCache cache_;
 
   mutable std::mutex mu_;  // guards queue_, stats_, stop_, workers started
   std::condition_variable cv_;

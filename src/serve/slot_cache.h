@@ -1,0 +1,104 @@
+#ifndef STGNN_SERVE_SLOT_CACHE_H_
+#define STGNN_SERVE_SLOT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/stgnn_djd.h"
+#include "data/window.h"
+#include "serve/feature_ring.h"
+
+namespace stgnn::serve {
+
+// One memoised serving prefix: everything StgnnDjdModel::Forward computes
+// before the GNN/attention/fusion head, for one (slot, model snapshot).
+// Immutable once inserted; requests hold it through a shared_ptr, so an
+// eviction or invalidation never tears a batch that already looked it up.
+struct SlotCacheEntry {
+  int slot = -1;
+  uint64_t model_version = 0;
+  // Stage 1: the assembled flow window (FeatureRing::History output).
+  data::StHistory history;
+  // Stage 2: flow-convolution embeddings (value tensors, no autograd).
+  core::StgnnDjdModel::Embeddings embeddings;
+  // Stage 3: the slot's FCG — pattern plus Eq. (10) weights. Undefined
+  // (has_graph == false) when the snapshot's model has no FCG branch.
+  // The weights Variable roots a tiny constant-only autograd graph; it is
+  // only ever read under the service's execution lock.
+  core::FlowConvolutedGraph graph;
+  bool has_graph = false;
+};
+
+// Small LRU cache of SlotCacheEntry keyed by (slot, model_version), shared
+// by the PredictionService workers. Hot-swapping a model changes the
+// version and therefore misses naturally; ring advances invalidate entries
+// whose slot can no longer be served (their history rows were overwritten).
+//
+// Cached entries are value-immutable: a slot's flow matrices are ingested
+// exactly once, so an entry assembled from live rows stays bit-identical to
+// a fresh cold assembly for as long as the slot is servable. Invalidation
+// therefore only has to keep the cache from *publishing* entries for slots
+// the ring has already overwritten — the stale-insert guard below — and
+// from retaining dead entries.
+//
+// Thread-safe. Lock order: FeatureRing::mu_ -> SlotCache::mu_ (the ring
+// calls OnRingAdvance with its mutex held); the cache never calls into the
+// ring.
+class SlotCache : public RingListener {
+ public:
+  // Monotonic counters, always compiled (unlike STGNN_COUNTER_*, which
+  // vanishes under STGNN_ENABLE_TRACING=OFF) so tests can assert on them
+  // in every build flavour.
+  struct Stats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    // Entries dropped because a ring advance overwrote their history, plus
+    // stale inserts refused for the same reason.
+    std::atomic<uint64_t> invalidations{0};
+  };
+
+  // `capacity` bounds retained entries; the serving steady state needs only
+  // the frontier slot per live snapshot, so a handful suffices.
+  explicit SlotCache(size_t capacity = 4);
+
+  // The cached entry for (slot, model_version), or nullptr. Counts a hit
+  // or a miss and bumps the entry's LRU stamp.
+  std::shared_ptr<const SlotCacheEntry> Lookup(int slot,
+                                               uint64_t model_version);
+
+  // Publishes an entry, evicting the least-recently-used one if full and
+  // replacing any existing entry with the same key. Refused (counted as an
+  // invalidation) when the entry's slot has already fallen behind the
+  // ring's servable range — a cold assembly that raced an overwrite.
+  void Insert(std::shared_ptr<const SlotCacheEntry> entry);
+
+  // RingListener: drops entries whose slot is no longer servable. Called
+  // by FeatureRing::Push with the ring mutex held.
+  void OnRingAdvance(int frontier, int min_servable_slot) override;
+
+  // Drops everything (tests; not needed for hot-swap, which re-keys).
+  void Clear();
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const;
+
+ private:
+  struct Shelf {
+    uint64_t lru_stamp = 0;
+    std::shared_ptr<const SlotCacheEntry> entry;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_stamp_ = 1;
+  int min_servable_slot_ = 0;
+  std::vector<Shelf> shelves_;
+  Stats stats_;
+};
+
+}  // namespace stgnn::serve
+
+#endif  // STGNN_SERVE_SLOT_CACHE_H_

@@ -158,6 +158,55 @@ TEST(FeatureRingTest, TypedErrors) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FeatureRingTest, RePushOfIngestedOrOverwrittenSlotFailsTyped) {
+  const data::FlowDataset flow = MakeFlow();
+  FeatureRing ring(flow.num_stations, 3, 1, flow.slots_per_day, 1.0f);
+  FillRing(&ring, flow, flow.num_slots);
+  const int frontier = ring.next_slot();
+
+  // A still-retained slot: re-ingesting would rewrite live served history.
+  const Status live = ring.Push(frontier - 1, flow.inflow[0], flow.outflow[0]);
+  EXPECT_EQ(live.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(live.message().find("already ingested"), std::string::npos);
+  // A slot the ring already overwrote fails the same way, flagged as such.
+  const Status old = ring.Push(0, flow.inflow[0], flow.outflow[0]);
+  EXPECT_EQ(old.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(old.message().find("overwritten"), std::string::npos);
+  // Neither failure perturbed the ring: the frontier still serves.
+  EXPECT_TRUE(ring.History(frontier).ok());
+  EXPECT_EQ(ring.next_slot(), frontier);
+}
+
+TEST(FeatureRingTest, HistoryStraddlingInFlightIngestFailsTyped) {
+  const data::FlowDataset flow = MakeFlow();
+  FeatureRing ring(flow.num_stations, 3, 1, flow.slots_per_day, 1.0f);
+  FillRing(&ring, flow, flow.num_slots);  // full: retains [16, 24), cap 8
+  const int frontier = ring.next_slot();  // 24
+
+  // The pause hook runs between the ingest reserve and the row copy, on
+  // this thread with no lock held: Push(24) is mid-overwrite of the cell
+  // holding slot 16 (= 24 - capacity). A window needing slot 16 must fail
+  // typed; windows that don't still assemble during the in-flight copy.
+  bool hook_ran = false;
+  ring.SetIngestPauseForTest([&] {
+    hook_ran = true;
+    const Status straddle = ring.History(frontier - 2).status();  // 16..21
+    EXPECT_EQ(straddle.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(straddle.message().find("in-flight"), std::string::npos);
+    EXPECT_TRUE(ring.History(frontier - 1).ok());  // needs 17..22
+    EXPECT_TRUE(ring.History(frontier).ok());      // needs 18..23
+  });
+  ASSERT_TRUE(ring.Push(frontier, flow.inflow[0], flow.outflow[0]).ok());
+  ring.SetIngestPauseForTest(nullptr);
+  EXPECT_TRUE(hook_ran);
+
+  // After the commit the same request fails typed as overwritten.
+  const Status after = ring.History(frontier - 2).status();
+  EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(after.message().find("overwritten"), std::string::npos);
+  EXPECT_TRUE(ring.History(frontier + 1).ok());
+}
+
 // --- LatencyHistogram ------------------------------------------------------
 
 TEST(LatencyHistogramTest, PercentilesAndMean) {

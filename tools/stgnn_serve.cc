@@ -7,18 +7,23 @@
 // latency (p50/p95/p99 from the always-on serving histogram), and the shed
 // rate to a tracked JSON (BENCH_serve.json).
 //
-// Two runs per n:
+// Three runs per n:
 //   - "saturation": closed-loop with a deep in-flight window, so the queue
 //     is never empty and the service batches as hard as max_batch allows;
 //   - "batch1": the same load against max_batch = 1, the no-batching
-//     baseline the speedup claim is measured against.
+//     baseline the speedup claim is measured against;
+//   - "no_cache": the saturation load with the snapshot's serve_cache off,
+//     the baseline for the slot-cache p50/p99 claim.
 // With --qps the saturation run becomes open-loop (paced submission), which
 // is what the CI smoke uses: a low rate that a healthy service must absorb
-// with zero sheds.
+// with zero sheds. The smoke additionally runs the load with the cache on
+// AND off and hard-fails if the order-independent prediction checksums
+// differ (the cached path must be bit-identical) or if the cache-on run's
+// hit rate falls below (batches - workers) / batches.
 //
 // Usage: stgnn_serve [--n 128,256,512] [--workers W] [--max-batch B]
 //                    [--queue Q] [--requests R] [--qps QPS] [--out PATH]
-//                    [--smoke]
+//                    [--smoke] [--print-counters]
 // Regenerate the tracked record from the repo root with:
 //   ./build/tools/stgnn_serve --out BENCH_serve.json
 
@@ -33,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -56,6 +62,7 @@ struct Options {
   double qps = 0.0;   // 0 = closed-loop saturation
   std::string out = "BENCH_serve.json";
   bool smoke = false;
+  bool print_counters = false;
 };
 
 struct RunResult {
@@ -74,8 +81,42 @@ struct RunResult {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  bool serve_cache = true;
+  // Order-independent FNV-1a digest over every served (slot, prediction
+  // bits) pair: cache-on and cache-off runs of the same load must agree.
+  uint64_t checksum = 0;
+  int64_t batches = 0;
+  int64_t assemblies = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
   std::vector<int64_t> batch_size_counts;
+
+  double hit_rate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups > 0 ? static_cast<double>(cache_hits) / lookups : 0.0;
+  }
 };
+
+// FNV-1a over the resolved slot and the raw float bits of the prediction
+// rows. Summed (wrapping) across responses so the digest is independent of
+// completion order — concurrent workers finish batches in any order.
+uint64_t ResponseDigest(const serve::PredictResponse& response) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(response.slot));
+  const tensor::Tensor& p = response.predictions;
+  for (int64_t i = 0; i < p.size(); ++i) {
+    const float value = p.flat(i);
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
 
 // The serving fixture for one graph size: simulated city, ring warmed with
 // every slot up to the frontier, and a published (untrained — serving cost
@@ -122,18 +163,31 @@ struct Fixture {
     }
 
     common::Rng rng(config.seed);
-    auto model = std::make_shared<const core::StgnnDjdModel>(
-        flow->num_stations, config, &rng);
-    const data::MinMaxNormalizer normalizer = data::MinMaxNormalizer::Fit(
-        flow->demand, flow->supply, flow->train_end);
-    registry.Publish(
-        serve::ModelSnapshot(model, normalizer, scale, config));
+    model = std::make_shared<const core::StgnnDjdModel>(flow->num_stations,
+                                                        config, &rng);
+    normalizer = std::make_unique<data::MinMaxNormalizer>(
+        data::MinMaxNormalizer::Fit(flow->demand, flow->supply,
+                                    flow->train_end));
+    input_scale = scale;
+    Publish(/*serve_cache=*/true);
+  }
+
+  // Republishes the same weights with the slot cache toggled — the knob
+  // lives in the snapshot's config, so a hot-swap flips it.
+  void Publish(bool serve_cache) {
+    core::StgnnConfig snapshot_config = config;
+    snapshot_config.serve_cache = serve_cache;
+    registry.Publish(serve::ModelSnapshot(model, *normalizer, input_scale,
+                                          snapshot_config));
   }
 
   std::unique_ptr<data::FlowDataset> flow;
   core::StgnnConfig config;
   std::unique_ptr<serve::FeatureRing> ring;
   serve::ModelRegistry registry;
+  std::shared_ptr<const core::StgnnDjdModel> model;
+  std::unique_ptr<data::MinMaxNormalizer> normalizer;
+  float input_scale = 1.0f;
 };
 
 // Drives `requests` kLatestSlot queries through a fresh service. qps > 0
@@ -141,7 +195,8 @@ struct Fixture {
 // flight so the workers always find a full queue (saturation).
 RunResult Drive(const std::string& mode, Fixture* fixture,
                 const serve::ServiceOptions& service_options, int requests,
-                double qps) {
+                double qps, bool serve_cache) {
+  fixture->Publish(serve_cache);
   serve::PredictionService service(&fixture->registry, fixture->ring.get(),
                                    service_options);
   service.Start();
@@ -151,9 +206,11 @@ RunResult Drive(const std::string& mode, Fixture* fixture,
   std::deque<std::future<serve::PredictResponse>> inflight;
   int64_t shed = 0;
   int64_t failed = 0;
+  uint64_t checksum = 0;
   auto account = [&](serve::PredictResponse response) {
     switch (response.kind) {
       case serve::PredictResponse::Kind::kOk:
+        checksum += ResponseDigest(response);  // wrapping, order-independent
         break;
       case serve::PredictResponse::Kind::kRejectedQueueFull:
       case serve::PredictResponse::Kind::kRejectedDeadline:
@@ -211,6 +268,14 @@ RunResult Drive(const std::string& mode, Fixture* fixture,
   result.p50_us = hist.PercentileNs(50) / 1e3;
   result.p95_us = hist.PercentileNs(95) / 1e3;
   result.p99_us = hist.PercentileNs(99) / 1e3;
+  result.serve_cache = serve_cache;
+  result.checksum = checksum;
+  result.batches = stats.batches;
+  result.assemblies = stats.assemblies;
+  const serve::SlotCache::Stats& cache = service.cache_stats();
+  result.cache_hits = cache.hits.load();
+  result.cache_misses = cache.misses.load();
+  result.cache_invalidations = cache.invalidations.load();
   result.batch_size_counts = stats.batch_size_counts;
   return result;
 }
@@ -223,7 +288,7 @@ int WriteJson(const std::string& path, const Options& options,
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v2\",\n");
   std::fprintf(f, "  \"hardware_threads\": %d,\n", common::HardwareThreads());
   std::fprintf(f,
                "  \"model\": \"untrained StgnnDjd k=8 d=1 fcg=1 pcg=1 "
@@ -240,12 +305,21 @@ int WriteJson(const std::string& path, const Options& options,
         "\"throughput_rps\": %.2f, \"mean_batch_size\": %.2f,\n"
         "     \"latency_us\": {\"mean\": %.1f, \"p50\": %.1f, "
         "\"p95\": %.1f, \"p99\": %.1f},\n"
+        "     \"serve_cache\": %s, \"checksum\": \"%016llx\",\n"
+        "     \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"invalidations\": %llu, \"assemblies\": %lld, "
+        "\"hit_rate\": %.3f},\n"
         "     \"batch_size_counts\": [",
         r.mode.c_str(), r.n, r.workers, r.max_batch,
         static_cast<long long>(r.requests), static_cast<long long>(r.served),
         static_cast<long long>(r.shed), static_cast<long long>(r.failed),
         r.wall_s, r.throughput_rps, r.mean_batch, r.mean_us, r.p50_us,
-        r.p95_us, r.p99_us);
+        r.p95_us, r.p99_us, r.serve_cache ? "true" : "false",
+        static_cast<unsigned long long>(r.checksum),
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses),
+        static_cast<unsigned long long>(r.cache_invalidations),
+        static_cast<long long>(r.assemblies), r.hit_rate());
     for (size_t b = 0; b < r.batch_size_counts.size(); ++b) {
       std::fprintf(f, "%s%lld", b > 0 ? ", " : "",
                    static_cast<long long>(r.batch_size_counts[b]));
@@ -262,6 +336,22 @@ int WriteJson(const std::string& path, const Options& options,
           base.throughput_rps > 0.0) {
         std::fprintf(f, "%s\"%d\": %.2f", first ? "" : ", ", r.n,
                      r.throughput_rps / base.throughput_rps);
+        first = false;
+      }
+    }
+  }
+  std::fprintf(f, "},\n");
+  // Slot-cache latency claim: cached saturation vs the no_cache baseline.
+  std::fprintf(f, "  \"cache_latency_speedup\": {");
+  first = true;
+  for (const RunResult& r : runs) {
+    if (r.mode != "saturation" || !r.serve_cache) continue;
+    for (const RunResult& base : runs) {
+      if (base.mode == "no_cache" && base.n == r.n && r.p50_us > 0.0 &&
+          r.p99_us > 0.0) {
+        std::fprintf(f, "%s\"%d\": {\"p50\": %.2f, \"p99\": %.2f}",
+                     first ? "" : ", ", r.n, base.p50_us / r.p50_us,
+                     base.p99_us / r.p99_us);
         first = false;
       }
     }
@@ -285,10 +375,17 @@ int Main(const Options& options) {
     const char* mode = options.qps > 0.0 ? "paced" : "saturation";
     std::fprintf(stderr, "n=%d: %s run (%d requests)...\n", n, mode,
                  options.requests);
-    runs.push_back(
-        Drive(mode, &fixture, batched, options.requests, options.qps));
+    runs.push_back(Drive(mode, &fixture, batched, options.requests,
+                         options.qps, /*serve_cache=*/true));
 
-    if (!options.smoke) {
+    if (options.smoke) {
+      // The same paced load with the slot cache off: the checksums of both
+      // runs must agree bit for bit (checked below).
+      std::fprintf(stderr, "n=%d: cache-off run (%d requests)...\n", n,
+                   options.requests);
+      runs.push_back(Drive("no_cache", &fixture, batched, options.requests,
+                           options.qps, /*serve_cache=*/false));
+    } else {
       // The no-batching baseline: same service, max_batch = 1, fewer
       // requests (each one pays a full forward).
       serve::ServiceOptions single = batched;
@@ -296,7 +393,14 @@ int Main(const Options& options) {
       const int base_requests = std::max(8, options.requests / 12);
       std::fprintf(stderr, "n=%d: batch1 baseline (%d requests)...\n", n,
                    base_requests);
-      runs.push_back(Drive("batch1", &fixture, single, base_requests, 0.0));
+      runs.push_back(Drive("batch1", &fixture, single, base_requests, 0.0,
+                           /*serve_cache=*/true));
+      // The slot-cache baseline: the saturation load, cold prefix every
+      // batch.
+      std::fprintf(stderr, "n=%d: no_cache baseline (%d requests)...\n", n,
+                   options.requests);
+      runs.push_back(Drive("no_cache", &fixture, batched, options.requests,
+                           options.qps, /*serve_cache=*/false));
     }
   }
 
@@ -305,11 +409,31 @@ int Main(const Options& options) {
 
   for (const RunResult& r : runs) {
     std::fprintf(stderr,
-                 "  %-10s n=%-4d served=%-4lld shed=%-3lld "
-                 "throughput=%8.2f req/s mean_batch=%5.2f p99=%.0f us\n",
-                 r.mode.c_str(), r.n, static_cast<long long>(r.served),
+                 "  %-10s n=%-4d cache=%s served=%-4lld shed=%-3lld "
+                 "throughput=%8.2f req/s mean_batch=%5.2f p50=%.0f us "
+                 "p99=%.0f us checksum=%016llx\n",
+                 r.mode.c_str(), r.n, r.serve_cache ? "on " : "off",
+                 static_cast<long long>(r.served),
                  static_cast<long long>(r.shed), r.throughput_rps,
-                 r.mean_batch, r.p99_us);
+                 r.mean_batch, r.p50_us, r.p99_us,
+                 static_cast<unsigned long long>(r.checksum));
+  }
+
+  if (options.print_counters) {
+    for (const RunResult& r : runs) {
+      std::printf(
+          "serve.cache[%s n=%d cache=%s]: hits=%llu misses=%llu "
+          "invalidations=%llu assemblies=%lld batches=%lld hit_rate=%.3f\n",
+          r.mode.c_str(), r.n, r.serve_cache ? "on" : "off",
+          static_cast<unsigned long long>(r.cache_hits),
+          static_cast<unsigned long long>(r.cache_misses),
+          static_cast<unsigned long long>(r.cache_invalidations),
+          static_cast<long long>(r.assemblies),
+          static_cast<long long>(r.batches), r.hit_rate());
+    }
+    const std::string table = common::counters::Format();
+    std::fputs(table.empty() ? "(no non-zero counters)\n" : table.c_str(),
+               stdout);
   }
 
   if (options.smoke) {
@@ -323,6 +447,42 @@ int Main(const Options& options) {
                      static_cast<long long>(r.requests),
                      static_cast<long long>(r.shed),
                      static_cast<long long>(r.failed));
+        return 1;
+      }
+    }
+    // The cache must be invisible in the outputs (bitwise) and effective
+    // in the work: the whole smoke load targets one frontier slot, so the
+    // cache-on run does at most one cold assembly per worker (racing
+    // workers may each miss once) and hits everything else.
+    for (const RunResult& r : runs) {
+      if (r.mode != "paced" || !r.serve_cache) continue;
+      for (const RunResult& base : runs) {
+        if (base.mode != "no_cache" || base.n != r.n) continue;
+        if (r.checksum != base.checksum) {
+          std::fprintf(stderr,
+                       "smoke FAILED: n=%d cache-on checksum %016llx != "
+                       "cache-off %016llx\n",
+                       r.n, static_cast<unsigned long long>(r.checksum),
+                       static_cast<unsigned long long>(base.checksum));
+          return 1;
+        }
+        if (base.cache_hits + base.cache_misses != 0) {
+          std::fprintf(stderr,
+                       "smoke FAILED: n=%d cache-off run consulted the "
+                       "cache\n",
+                       r.n);
+          return 1;
+        }
+      }
+      const int64_t min_hits = r.batches - options.workers;
+      if (static_cast<int64_t>(r.cache_hits) < min_hits ||
+          r.assemblies > options.workers) {
+        std::fprintf(stderr,
+                     "smoke FAILED: n=%d hits=%llu < %lld or "
+                     "assemblies=%lld > workers=%d\n",
+                     r.n, static_cast<unsigned long long>(r.cache_hits),
+                     static_cast<long long>(min_hits),
+                     static_cast<long long>(r.assemblies), options.workers);
         return 1;
       }
     }
@@ -363,6 +523,8 @@ int main(int argc, char** argv) {
       options.qps = stgnn::common::ParseDouble(next()).ValueOrDie();
     } else if (arg == "--out") {
       options.out = next();
+    } else if (arg == "--print-counters") {
+      options.print_counters = true;
     } else if (arg == "--smoke") {
       // Tiny city, gentle paced load, hard-fail on any shed: the CI
       // liveness check for the serving path.
