@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "autograd/inference_precision.h"
 #include "common/counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -318,6 +319,16 @@ Variable EluInPlace(Variable a, float alpha) {
 }
 
 Variable MatMul(const Variable& a, const Variable& b) {
+  // Inference-only quantized weight path: when a QuantizedInferenceScope is
+  // active on this thread and b is one of its registered weight snapshots,
+  // the product runs through the reduced-precision kernels and detaches
+  // from autograd (a Constant). Training threads never enter a scope, so
+  // this branch is dead there and the fp32 graph is untouched.
+  if (const QuantizedWeightSet* qw = ActiveQuantizedWeights()) {
+    if (const QuantizedWeightEntry* entry = qw->Find(b.node().get())) {
+      return Variable::Constant(QuantizedWeightMatMul(a.value(), *entry));
+    }
+  }
   auto node = MakeNode(tensor::MatMul(a.value(), b.value()), {a, b});
   if (node->requires_grad) {
     Node* self = node.get();
@@ -371,15 +382,16 @@ Tensor SpmmGradA(const tensor::Csr& pattern, const Tensor& g,
           const int* cols = ci + begin;
           const float* grow = pg + i * f;
           std::fill(scratch.begin(), scratch.begin() + cnt, 0.0f);
-          // Deliberately the same loop shape as MatMulSmall (k-outer,
-          // element-wise inner read-modify-write) so the compiler makes the
-          // same FMA-contraction choice for both; a dot-product inner loop
-          // contracts differently and drifts from the dense backward by an
-          // ulp (tests/sparse_test.cc pins the bitwise match).
+          // Deliberately the same accumulation as the dispatched MatMul
+          // kernels (k-outer, one std::fmaf per term, ascending order) so
+          // this matches the dense backward bit for bit on every ISA; a
+          // dot-product inner loop or a compiler-chosen contraction would
+          // drift by an ulp (tests/sparse_test.cc pins the bitwise match).
           for (int c = 0; c < f; ++c) {
             const float gval = grow[c];
             for (int e = 0; e < cnt; ++e) {
-              scratch[e] += gval * px[static_cast<size_t>(cols[e]) * f + c];
+              scratch[e] = std::fmaf(
+                  gval, px[static_cast<size_t>(cols[e]) * f + c], scratch[e]);
             }
           }
           float* drow = pd + i * pattern.cols();

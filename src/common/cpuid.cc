@@ -1,0 +1,107 @@
+#include "common/cpuid.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace stgnn::common {
+namespace {
+
+// Encoded as Isa+1 so 0 means "not resolved yet".
+std::atomic<int> g_active{0};
+
+Isa ResolveFromEnv() {
+  const char* env = std::getenv("STGNN_ISA");
+  const Isa best = DetectBestIsa();
+  if (env == nullptr || env[0] == '\0') return best;
+  Isa requested;
+  if (!ParseIsa(env, &requested)) {
+    std::fprintf(stderr,
+                 "stgnn: STGNN_ISA=%s not recognised "
+                 "(want scalar|avx2|avx512); using %s\n",
+                 env, IsaName(best));
+    return best;
+  }
+  if (!IsaSupported(requested)) {
+    std::fprintf(stderr,
+                 "stgnn: STGNN_ISA=%s unsupported on this host; using %s\n",
+                 env, IsaName(best));
+    return best;
+  }
+  return requested;
+}
+
+}  // namespace
+
+Isa DetectBestIsa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  // __builtin_cpu_supports reads CPUID (and XGETBV for the AVX state bits),
+  // so this also covers OSes that do not enable the wide register state.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Isa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+bool IsaSupported(Isa isa) {
+  return static_cast<int>(isa) <= static_cast<int>(DetectBestIsa());
+}
+
+Isa ActiveIsa() {
+  int packed = g_active.load(std::memory_order_acquire);
+  if (packed == 0) {
+    const Isa resolved = ResolveFromEnv();
+    int expected = 0;
+    // First resolver wins; a concurrent SetIsa simply supersedes us.
+    g_active.compare_exchange_strong(expected,
+                                     static_cast<int>(resolved) + 1,
+                                     std::memory_order_acq_rel);
+    packed = g_active.load(std::memory_order_acquire);
+  }
+  return static_cast<Isa>(packed - 1);
+}
+
+Isa SetIsa(Isa isa) {
+  if (!IsaSupported(isa)) isa = DetectBestIsa();
+  g_active.store(static_cast<int>(isa) + 1, std::memory_order_release);
+  return isa;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool ParseIsa(const char* text, Isa* out) {
+  if (text == nullptr) return false;
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (std::strcmp(text, "avx2") == 0) {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  if (std::strcmp(text, "avx512") == 0) {
+    *out = Isa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace stgnn::common

@@ -1,0 +1,48 @@
+#ifndef STGNN_COMMON_CPUID_H_
+#define STGNN_COMMON_CPUID_H_
+
+// Runtime CPU-feature detection and the process-wide ISA selection used by
+// the dispatched microkernels in src/tensor/kernels/. The selected ISA is
+// resolved once (first call to ActiveIsa), honouring the STGNN_ISA
+// environment variable (scalar|avx2|avx512) clamped to what the host
+// actually supports; tests may override it at runtime with SetIsa.
+//
+// All fp32 kernel variants are bit-identical by construction (see
+// src/tensor/kernels/kernels.h), so the ISA choice is pure performance —
+// switching it mid-process is safe and only affects speed.
+
+namespace stgnn::common {
+
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,    // AVX2 + FMA
+  kAvx512 = 2,  // AVX-512 F/BW/DQ/VL (+ FMA)
+};
+
+// Best ISA the host supports (ignores STGNN_ISA). On non-x86 builds this is
+// always kScalar.
+Isa DetectBestIsa();
+
+// True when the host can execute `isa` (kScalar is always supported).
+bool IsaSupported(Isa isa);
+
+// The ISA the dispatched kernels run with. Resolved once on first call:
+// STGNN_ISA if set (unsupported or unknown values fall back with a warning
+// to stderr), otherwise DetectBestIsa().
+Isa ActiveIsa();
+
+// Overrides the active ISA (for tests and tools). Requests above what the
+// host supports are clamped to DetectBestIsa(); returns the ISA actually
+// installed.
+Isa SetIsa(Isa isa);
+
+// "scalar" | "avx2" | "avx512".
+const char* IsaName(Isa isa);
+
+// Parses "scalar"/"avx2"/"avx512" (case-sensitive). Returns false on
+// unknown input and leaves *out untouched.
+bool ParseIsa(const char* text, Isa* out);
+
+}  // namespace stgnn::common
+
+#endif  // STGNN_COMMON_CPUID_H_

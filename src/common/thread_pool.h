@@ -114,6 +114,20 @@ inline int64_t GrainFor(int64_t items, int64_t cost_per_item) {
   return grain;
 }
 
+// Same, with an explicit ops-per-chunk target. Dispatched SIMD kernels pass
+// their KernelTable's row_grain_ops here: wider vectors retire the same op
+// count faster, so the break-even chunk grows with the ISA. Still depends
+// only on its arguments, preserving the determinism contract.
+inline int64_t GrainFor(int64_t items, int64_t cost_per_item,
+                        int64_t target_ops_per_chunk) {
+  if (target_ops_per_chunk < 1) target_ops_per_chunk = 1;
+  int64_t grain =
+      target_ops_per_chunk / (cost_per_item < 1 ? 1 : cost_per_item);
+  if (grain < 1) grain = 1;
+  if (items > 0 && grain > items) grain = items;
+  return grain;
+}
+
 }  // namespace stgnn::common
 
 #endif  // STGNN_COMMON_THREAD_POOL_H_

@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -23,6 +24,20 @@ bool DefaultServeCacheEnabled() {
   if (env == nullptr) return true;
   return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
            std::strcmp(env, "off") == 0);
+}
+
+tensor::Precision DefaultInferPrecision() {
+  const char* env = std::getenv("STGNN_INFER_PRECISION");
+  if (env == nullptr || env[0] == '\0') return tensor::Precision::kFp32;
+  tensor::Precision parsed;
+  if (!tensor::ParsePrecision(env, &parsed)) {
+    std::fprintf(stderr,
+                 "stgnn: STGNN_INFER_PRECISION=%s not recognised "
+                 "(want fp32|bf16|int8); using fp32\n",
+                 env);
+    return tensor::Precision::kFp32;
+  }
+  return parsed;
 }
 
 const char* AggregatorToString(Aggregator aggregator) {

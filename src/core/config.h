@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "tensor/precision.h"
+
 namespace stgnn::core {
 
 // Aggregation function used inside each of the two graph branches. The
@@ -32,6 +34,11 @@ bool DefaultBufferPoolEnabled();
 // Default for StgnnConfig::serve_cache: the STGNN_SERVE_CACHE environment
 // variable (0/false/off disables), else true.
 bool DefaultServeCacheEnabled();
+
+// Default for StgnnConfig::infer_precision: the STGNN_INFER_PRECISION
+// environment variable (fp32|bf16|int8; unknown values warn and fall back),
+// else fp32.
+tensor::Precision DefaultInferPrecision();
 
 // Ablation switches matching the paper's "design variations" (Fig. 4).
 struct AblationFlags {
@@ -88,6 +95,13 @@ struct StgnnConfig {
   // performance knob. Defaults to on, overridable with the
   // STGNN_SERVE_CACHE environment variable.
   bool serve_cache = DefaultServeCacheEnabled();
+  // Weight precision for the *inference* forward (PredictionService and
+  // StgnnDjdPredictor::Predict/PredictHorizon). fp32 is the bit-exact
+  // default; bf16/int8 snapshot eligible weights at reduced precision for
+  // a faster, smaller serving path gated by an RMSE-delta regression
+  // (tests/quantize_test.cc), not bitwise parity. Training always runs
+  // fp32 regardless of this knob. Defaults from STGNN_INFER_PRECISION.
+  tensor::Precision infer_precision = DefaultInferPrecision();
   // Prediction horizon in slots. 1 reproduces the paper's setting; larger
   // values implement the multi-step extension sketched in the paper's
   // future work (Section IX): the output layer emits

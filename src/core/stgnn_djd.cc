@@ -278,6 +278,15 @@ std::vector<Tensor> StgnnDjdModel::LastPcgAttention() const {
   return pcg_branch_->FirstLayerAttention();
 }
 
+std::shared_ptr<const autograd::QuantizedWeightSet>
+StgnnDjdModel::QuantizeWeights(tensor::Precision precision) const {
+  std::vector<const autograd::Node*> exclude;
+  for (const auto& [pname, p] : named_parameters()) {
+    if (pname == "learned_features") exclude.push_back(p.node().get());
+  }
+  return autograd::BuildQuantizedWeightSet(precision, parameters(), exclude);
+}
+
 StgnnDjdPredictor::StgnnDjdPredictor(StgnnConfig config)
     : config_(std::move(config)) {}
 
@@ -305,6 +314,8 @@ void StgnnDjdPredictor::Train(const data::FlowDataset& flow) {
   common::Rng rng(config_.seed);
   dropout_rng_ = std::make_unique<common::Rng>(rng.NextUint64());
   model_ = std::make_unique<StgnnDjdModel>(flow.num_stations, config_, &rng);
+  // Any previous quantized snapshot refers to stale weights.
+  quantized_.reset();
   normalizer_ = std::make_unique<data::MinMaxNormalizer>(
       data::MinMaxNormalizer::Fit(flow.demand, flow.supply, flow.train_end));
   input_scale_ = config_.input_scale_multiplier / flow.max_train_flow;
@@ -415,7 +426,13 @@ Tensor StgnnDjdPredictor::PredictHorizon(const data::FlowDataset& flow,
                                          int t) {
   STGNN_CHECK(model_ != nullptr) << "Predict before Train";
   STGNN_CHECK_GE(t, MinHistorySlots(flow));
+  if (config_.infer_precision != tensor::Precision::kFp32 && !quantized_) {
+    quantized_ = model_->QuantizeWeights(config_.infer_precision);
+  }
   const data::StHistory history = HistoryAt(flow, t);
+  // Routes eligible weight matmuls through the quantized path for the
+  // duration of this forward; a no-op for fp32 (quantized_ stays null).
+  autograd::QuantizedInferenceScope scope(quantized_.get());
   const Variable prediction =
       model_->Forward(history, /*training=*/false, nullptr);
   Tensor out = normalizer_->Denormalize(prediction.value());

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "autograd/inference_precision.h"
 #include "core/aggregators.h"
 #include "core/config.h"
 #include "core/flow_convolution.h"
@@ -109,6 +110,16 @@ class StgnnDjdModel : public nn::Module {
 
   bool uses_fcg() const { return config_.ablation.use_fcg; }
 
+  // Snapshots every eligible 2-D weight at the given precision for the
+  // inference-only quantized forward (autograd::QuantizedInferenceScope).
+  // `learned_features` is excluded: in the No-FC variant it flows through
+  // the graph as node *features*, not as a weight operand, and quantizing
+  // it would break staged-vs-monolithic forward parity. Returns null for
+  // fp32. The set aliases this model's current weight values; rebuild it
+  // after any parameter update.
+  std::shared_ptr<const autograd::QuantizedWeightSet> QuantizeWeights(
+      tensor::Precision precision) const;
+
   // Attention matrices (per head) of the first PCG attention layer from the
   // most recent Forward call.
   std::vector<tensor::Tensor> LastPcgAttention() const;
@@ -172,6 +183,9 @@ class StgnnDjdPredictor : public eval::Predictor {
   std::unique_ptr<data::MinMaxNormalizer> normalizer_;
   std::unique_ptr<common::Rng> dropout_rng_;
   float input_scale_ = 1.0f;
+  // Lazily-built quantized weight snapshot for Predict/PredictHorizon when
+  // config_.infer_precision != fp32. Reset by Train (weights change).
+  std::shared_ptr<const autograd::QuantizedWeightSet> quantized_;
 };
 
 }  // namespace stgnn::core

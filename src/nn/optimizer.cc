@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels/kernels.h"
 
 namespace stgnn::nn {
 
@@ -81,30 +82,24 @@ void Adam::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const tensor::kernels::KernelTable& kt = tensor::kernels::Active();
   for (size_t i = 0; i < params_.size(); ++i) {
     autograd::Node* node = params_[i].node().get();
     // Moments, bias correction and the parameter update fused into one
-    // in-place pass; an uninitialised gradient is an exact zero (the
-    // moments still decay and the update still applies).
+    // in-place pass through the dispatched kernel; an uninitialised
+    // gradient is an exact zero (the moments still decay and the update
+    // still applies). Every ISA variant performs the identical per-element
+    // fma/div/sqrt sequence, so training stays bit-exact regardless of the
+    // active table.
     const float* gd =
         node->grad_initialized ? node->grad.data().data() : nullptr;
     float* md = first_moment_[i].mutable_data().data();
     float* vd = second_moment_[i].mutable_data().data();
     float* pd = node->value.mutable_data().data();
     const int64_t len = node->value.size();
-    const float beta1 = beta1_;
-    const float beta2 = beta2_;
-    const float lr = learning_rate_;
-    const float eps = epsilon_;
     common::ParallelFor(0, len, kStepGrain, [&](int64_t lo, int64_t hi) {
-      for (int64_t j = lo; j < hi; ++j) {
-        const float g = gd ? gd[j] : 0.0f;
-        md[j] = md[j] * beta1 + g * (1.0f - beta1);
-        vd[j] = vd[j] * beta2 + (g * g) * (1.0f - beta2);
-        const float m_hat = md[j] / bias1;
-        const float v_hat = vd[j] / bias2;
-        pd[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-      }
+      kt.adam_step(gd, md, vd, pd, lo, hi, beta1_, beta2_, bias1, bias2,
+                   learning_rate_, epsilon_);
     });
   }
 }

@@ -31,6 +31,13 @@ uint64_t ModelRegistry::current_version() const {
   return current_ ? current_->version : 0;
 }
 
+void QuantizeSnapshot(ModelSnapshot* snapshot,
+                      tensor::Precision precision) {
+  STGNN_CHECK(snapshot != nullptr && snapshot->model != nullptr);
+  snapshot->config.infer_precision = precision;
+  snapshot->quantized = snapshot->model->QuantizeWeights(precision);
+}
+
 Result<ModelSnapshot> SnapshotFromCheckpoint(
     const core::StgnnConfig& config, int num_stations,
     const std::string& checkpoint_path, data::MinMaxNormalizer normalizer,

@@ -32,6 +32,9 @@ struct ModelSnapshot {
   float input_scale;
   core::StgnnConfig config;
   uint64_t version = 0;  // assigned by ModelRegistry::Publish
+  // Non-null when QuantizeSnapshot prepared reduced-precision weights; the
+  // service then routes eligible weight matmuls through the quantized path.
+  std::shared_ptr<const autograd::QuantizedWeightSet> quantized;
 };
 
 // RCU-style registry of the live model. Publish atomically replaces the
@@ -68,6 +71,12 @@ class ModelRegistry {
 // and loads the weights, pairing them with the normaliser and input scale
 // of the training run that produced the checkpoint. This is the hot-swap
 // path a trainer uses to hand a fresh checkpoint to a running service.
+// Attaches a reduced-precision weight snapshot to `snapshot` so serving
+// forwards run the quantized inference path (a no-op for fp32). Call after
+// the snapshot's weights are final and before Publish; the quantized copy
+// aliases nothing, so the fp32 weights stay untouched for checkpointing.
+void QuantizeSnapshot(ModelSnapshot* snapshot, tensor::Precision precision);
+
 Result<ModelSnapshot> SnapshotFromCheckpoint(
     const core::StgnnConfig& config, int num_stations,
     const std::string& checkpoint_path, data::MinMaxNormalizer normalizer,

@@ -207,6 +207,14 @@ void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
     return;
   }
 
+  // When the snapshot carries quantized weights, every execution section
+  // below (cold prefix and head alike) runs under the scope, so cached and
+  // cold serving paths see the same weight representation.
+  autograd::QuantizedInferenceScope quant_scope(snapshot->quantized.get());
+  if (snapshot->quantized != nullptr) {
+    STGNN_COUNTER_INC("serve.quantized_batches");
+  }
+
   // One forward serves the whole micro-batch. Denormalize inside the
   // execution section keeps the op order identical to the direct
   // StgnnDjdPredictor::PredictHorizon path (Forward -> Denormalize ->

@@ -5,6 +5,7 @@
 #include "common/counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "tensor/kernels/kernels.h"
 
 namespace stgnn::tensor {
 
@@ -112,45 +113,18 @@ Tensor SpMM(const Csr& pattern, const std::vector<float>& values,
   const float* vals = values.data();
   const float* px = x.data().data();
   float* po = out.mutable_data().data();
+  // Row ranges go straight to the dispatched kernel variant; every variant
+  // accumulates each output element in ascending stored-entry order with
+  // single-rounding fmas, so the result is bit-identical across ISAs,
+  // thread counts, and to dense MatMul on the materialised operand.
+  const kernels::KernelTable& kt = kernels::Active();
   const int64_t cost_per_row =
       (pattern.nnz() / std::max(m, 1) + 1) * static_cast<int64_t>(f);
-  common::ParallelFor(
-      0, m, common::GrainFor(m, cost_per_row), [&](int64_t ib, int64_t ie) {
-        for (int64_t i = ib; i < ie; ++i) {
-          float* orow = po + i * f;
-          const int begin = rp[i];
-          const int end = rp[i + 1];
-          int e = begin;
-          // 4 entries at a time: one load/store of the accumulator row
-          // serves four scaled adds. The per-element accumulation stays in
-          // ascending-column order (the four adds are sequenced), so the
-          // result matches the one-at-a-time path and dense MatMul bit for
-          // bit.
-          for (; e + 4 <= end; e += 4) {
-            const float v0 = vals[e + 0];
-            const float v1 = vals[e + 1];
-            const float v2 = vals[e + 2];
-            const float v3 = vals[e + 3];
-            const float* x0 = px + static_cast<size_t>(ci[e + 0]) * f;
-            const float* x1 = px + static_cast<size_t>(ci[e + 1]) * f;
-            const float* x2 = px + static_cast<size_t>(ci[e + 2]) * f;
-            const float* x3 = px + static_cast<size_t>(ci[e + 3]) * f;
-            for (int c = 0; c < f; ++c) {
-              float acc = orow[c];
-              acc += v0 * x0[c];
-              acc += v1 * x1[c];
-              acc += v2 * x2[c];
-              acc += v3 * x3[c];
-              orow[c] = acc;
-            }
-          }
-          for (; e < end; ++e) {
-            const float v = vals[e];
-            const float* xrow = px + static_cast<size_t>(ci[e]) * f;
-            for (int c = 0; c < f; ++c) orow[c] += v * xrow[c];
-          }
-        }
-      });
+  common::ParallelFor(0, m,
+                      common::GrainFor(m, cost_per_row, kt.row_grain_ops),
+                      [&](int64_t ib, int64_t ie) {
+                        kt.spmm_rows(rp, ci, vals, px, po, ib, ie, f);
+                      });
   return out;
 }
 

@@ -1,0 +1,23 @@
+#include "tensor/kernels/kernels.h"
+
+namespace stgnn::tensor::kernels {
+
+const KernelTable& TableFor(common::Isa isa) {
+#if defined(__x86_64__) || defined(_M_X64)
+  switch (isa) {
+    case common::Isa::kAvx512:
+      return Avx512Kernels();
+    case common::Isa::kAvx2:
+      return Avx2Kernels();
+    case common::Isa::kScalar:
+      return ScalarKernels();
+  }
+#else
+  (void)isa;
+#endif
+  return ScalarKernels();
+}
+
+const KernelTable& Active() { return TableFor(common::ActiveIsa()); }
+
+}  // namespace stgnn::tensor::kernels

@@ -1,0 +1,194 @@
+// Scalar reference kernels. Compiled with -ffp-contract=off so every
+// rounding is exactly the one written: std::fmaf is the single IEEE
+// correctly-rounded multiply-add the vector variants' vfmadd lanes
+// perform, which is what makes scalar-vs-SIMD bitwise parity possible.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "tensor/kernels/kernels.h"
+
+namespace stgnn::tensor::kernels {
+
+void ScalarMatMulSmall(const float* a, const float* b, float* out, int m,
+                       int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    float* orow = out + static_cast<size_t>(i) * n;
+    const float* arow = a + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float aval = arow[p];
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        orow[j] = std::fmaf(aval, brow[j], orow[j]);
+      }
+    }
+  }
+}
+
+void ScalarMatMulPanelRows(const float* a, const float* panel, float* out,
+                           int64_t row_begin, int64_t row_end, int k, int n,
+                           int j0, int width) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kMmRowTile) {
+    const int rows =
+        static_cast<int>(std::min<int64_t>(kMmRowTile, row_end - i0));
+    float acc[kMmRowTile][kMmPanel];
+    for (int r = 0; r < rows; ++r) {
+      std::fill(acc[r], acc[r] + width, 0.0f);
+    }
+    if (rows == kMmRowTile && width == kMmPanel) {
+      // Register-blocked hot tile: 4 rows share every load of the packed
+      // panel row.
+      const float* a0 = a + (i0 + 0) * k;
+      const float* a1 = a + (i0 + 1) * k;
+      const float* a2 = a + (i0 + 2) * k;
+      const float* a3 = a + (i0 + 3) * k;
+      for (int p = 0; p < k; ++p) {
+        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
+        const float v0 = a0[p];
+        const float v1 = a1[p];
+        const float v2 = a2[p];
+        const float v3 = a3[p];
+        for (int j = 0; j < kMmPanel; ++j) {
+          acc[0][j] = std::fmaf(v0, bp[j], acc[0][j]);
+          acc[1][j] = std::fmaf(v1, bp[j], acc[1][j]);
+          acc[2][j] = std::fmaf(v2, bp[j], acc[2][j]);
+          acc[3][j] = std::fmaf(v3, bp[j], acc[3][j]);
+        }
+      }
+    } else {
+      for (int p = 0; p < k; ++p) {
+        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
+        for (int r = 0; r < rows; ++r) {
+          const float v = a[(i0 + r) * k + p];
+          for (int j = 0; j < width; ++j) {
+            acc[r][j] = std::fmaf(v, bp[j], acc[r][j]);
+          }
+        }
+      }
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::copy(acc[r], acc[r] + width, out + (i0 + r) * n + j0);
+    }
+  }
+}
+
+void ScalarSpmmRows(const int* row_ptr, const int* col_idx,
+                    const float* values, const float* x, float* out,
+                    int64_t row_begin, int64_t row_end, int f) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* orow = out + i * f;
+    const int begin = row_ptr[i];
+    const int end = row_ptr[i + 1];
+    int e = begin;
+    // 4 entries at a time: one load/store of the accumulator row serves
+    // four fused multiply-adds. The per-element accumulation stays in
+    // ascending stored-entry order (the four fmas are sequenced), so the
+    // result matches the one-at-a-time path and dense MatMul bit for bit.
+    for (; e + 4 <= end; e += 4) {
+      const float v0 = values[e + 0];
+      const float v1 = values[e + 1];
+      const float v2 = values[e + 2];
+      const float v3 = values[e + 3];
+      const float* x0 = x + static_cast<size_t>(col_idx[e + 0]) * f;
+      const float* x1 = x + static_cast<size_t>(col_idx[e + 1]) * f;
+      const float* x2 = x + static_cast<size_t>(col_idx[e + 2]) * f;
+      const float* x3 = x + static_cast<size_t>(col_idx[e + 3]) * f;
+      for (int c = 0; c < f; ++c) {
+        float acc = orow[c];
+        acc = std::fmaf(v0, x0[c], acc);
+        acc = std::fmaf(v1, x1[c], acc);
+        acc = std::fmaf(v2, x2[c], acc);
+        acc = std::fmaf(v3, x3[c], acc);
+        orow[c] = acc;
+      }
+    }
+    for (; e < end; ++e) {
+      const float v = values[e];
+      const float* xrow = x + static_cast<size_t>(col_idx[e]) * f;
+      for (int c = 0; c < f; ++c) {
+        orow[c] = std::fmaf(v, xrow[c], orow[c]);
+      }
+    }
+  }
+}
+
+void ScalarAdamStep(const float* g, float* m, float* v, float* p, int64_t lo,
+                    int64_t hi, float beta1, float beta2, float bias1,
+                    float bias2, float lr, float eps) {
+  const float omb1 = 1.0f - beta1;
+  const float omb2 = 1.0f - beta2;
+  for (int64_t j = lo; j < hi; ++j) {
+    const float gj = g ? g[j] : 0.0f;
+    const float mj = std::fmaf(m[j], beta1, gj * omb1);
+    const float vj = std::fmaf(v[j], beta2, (gj * gj) * omb2);
+    m[j] = mj;
+    v[j] = vj;
+    const float m_hat = mj / bias1;
+    const float v_hat = vj / bias2;
+    p[j] = p[j] - (lr * m_hat) / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void ScalarQgemmRows(const uint8_t* qa, const float* row_scale,
+                     const int8_t* packed_b, const int32_t* col_sums,
+                     float* out, int64_t row_begin, int64_t row_end,
+                     int64_t k4, int n) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const uint8_t* arow = qa + i * k4 * 4;
+    float* orow = out + i * n;
+    const float scale = row_scale[i];
+    for (int j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p4 = 0; p4 < k4; ++p4) {
+        const uint8_t* aq = arow + p4 * 4;
+        const int8_t* bq = packed_b + (p4 * n + j) * 4;
+        acc += static_cast<int32_t>(aq[0]) * bq[0];
+        acc += static_cast<int32_t>(aq[1]) * bq[1];
+        acc += static_cast<int32_t>(aq[2]) * bq[2];
+        acc += static_cast<int32_t>(aq[3]) * bq[3];
+      }
+      orow[j] = static_cast<float>(acc - 64 * col_sums[j]) * scale;
+    }
+  }
+}
+
+void ScalarQuantizeActRows(const float* a, uint8_t* qa, float* row_scale,
+                           int64_t row_begin, int64_t row_end, int k,
+                           int64_t k4, float b_scale) {
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* arow = a + i * static_cast<int64_t>(k);
+    uint8_t* qrow = qa + i * k4 * 4;
+    float amax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      amax = std::max(amax, std::fabs(arow[p]));
+    }
+    const float inv = amax > 0.0f ? 63.0f / amax : 0.0f;
+    for (int p = 0; p < k; ++p) {
+      const long r = std::lrintf(arow[p] * inv);
+      const long c = std::max<long>(-63, std::min<long>(63, r));
+      qrow[p] = static_cast<uint8_t>(c + 64);
+    }
+    std::memset(qrow + k, 0, static_cast<size_t>(k4 * 4 - k));
+    row_scale[i] = (amax > 0.0f ? amax / 63.0f : 1.0f) * b_scale;
+  }
+}
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      common::Isa::kScalar,
+      "scalar",
+      &ScalarMatMulSmall,
+      &ScalarMatMulPanelRows,
+      &ScalarSpmmRows,
+      &ScalarAdamStep,
+      &ScalarQgemmRows,
+      &ScalarQuantizeActRows,
+      /*mm_small_flops=*/int64_t{48} * 48 * 48,
+      /*mm_chunk_flops=*/int64_t{1} << 18,
+      /*row_grain_ops=*/2048,
+  };
+  return table;
+}
+
+}  // namespace stgnn::tensor::kernels

@@ -1,0 +1,164 @@
+#include "tensor/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/buffer_pool.h"
+#include "common/counters.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "tensor/kernels/kernels.h"
+
+namespace stgnn::tensor {
+namespace {
+
+inline int8_t ClampToInt8(float scaled, int limit) {
+  const long r = std::lrintf(scaled);
+  const long clamped =
+      std::max<long>(-limit, std::min<long>(limit, r));
+  return static_cast<int8_t>(clamped);
+}
+
+}  // namespace
+
+uint16_t Bf16FromFloat(float x) {
+  uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  // Round to nearest, ties to even on the truncated 16 low bits.
+  const uint32_t lsb = (bits >> 16) & 1u;
+  bits += 0x7FFFu + lsb;
+  return static_cast<uint16_t>(bits >> 16);
+}
+
+QuantizedTensor QuantizeInt8(const Tensor& w) {
+  STGNN_CHECK_EQ(w.ndim(), 2);
+  const int k = w.dim(0);
+  const int n = w.dim(1);
+  const int64_t k4 = (static_cast<int64_t>(k) + 3) / 4;
+  QuantizedTensor q;
+  q.rows = k;
+  q.cols = n;
+  const float* d = w.data().data();
+  float absmax = 0.0f;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    absmax = std::max(absmax, std::fabs(d[i]));
+  }
+  q.scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+  const float inv = absmax > 0.0f ? 127.0f / absmax : 0.0f;
+  q.packed.assign(static_cast<size_t>(k4) * n * 4, 0);
+  q.col_sums.assign(static_cast<size_t>(n), 0);
+  for (int p = 0; p < k; ++p) {
+    const float* row = d + static_cast<size_t>(p) * n;
+    const int64_t p4 = p / 4;
+    const int lane = p % 4;
+    for (int j = 0; j < n; ++j) {
+      const int8_t v = ClampToInt8(row[j] * inv, 127);
+      q.packed[static_cast<size_t>((p4 * n + j) * 4 + lane)] = v;
+      q.col_sums[static_cast<size_t>(j)] += v;
+    }
+  }
+  return q;
+}
+
+Tensor DequantizeInt8(const QuantizedTensor& q) {
+  Tensor out({q.rows, q.cols});
+  float* d = out.mutable_data().data();
+  for (int p = 0; p < q.rows; ++p) {
+    const int64_t p4 = p / 4;
+    const int lane = p % 4;
+    for (int j = 0; j < q.cols; ++j) {
+      d[static_cast<size_t>(p) * q.cols + j] =
+          static_cast<float>(
+              q.packed[static_cast<size_t>((p4 * q.cols + j) * 4 + lane)]) *
+          q.scale;
+    }
+  }
+  return out;
+}
+
+Bf16Tensor QuantizeBf16(const Tensor& w) {
+  STGNN_CHECK_EQ(w.ndim(), 2);
+  Bf16Tensor q;
+  q.rows = w.dim(0);
+  q.cols = w.dim(1);
+  q.data.resize(static_cast<size_t>(w.size()));
+  const float* d = w.data().data();
+  for (int64_t i = 0; i < w.size(); ++i) {
+    q.data[static_cast<size_t>(i)] = Bf16FromFloat(d[i]);
+  }
+  return q;
+}
+
+Tensor DequantizeBf16(const Bf16Tensor& q) {
+  Tensor out({q.rows, q.cols});
+  float* d = out.mutable_data().data();
+  for (size_t i = 0; i < q.data.size(); ++i) {
+    d[i] = Bf16ToFloat(q.data[i]);
+  }
+  return out;
+}
+
+Tensor QuantizedMatMul(const Tensor& a, const QuantizedTensor& b) {
+  STGNN_CHECK_EQ(a.ndim(), 2);
+  STGNN_CHECK_EQ(a.dim(1), b.rows);
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = b.cols;
+  STGNN_TRACE_SCOPE("QuantizedMatMul");
+  STGNN_COUNTER_INC("op.qgemm");
+  if (m == 0 || n == 0) return Tensor({m, n});
+  const int64_t k4 = (static_cast<int64_t>(k) + 3) / 4;
+
+  // Per-row activation quantisation through the dispatched kernel (the
+  // zero-padded tail bytes stay 0 and pair with the zero-padded packed-B
+  // tail, contributing exactly nothing). One pooled float buffer carries
+  // both scratch blocks: m*k4 floats reinterpreted as the u8 activation
+  // matrix, then m row scales.
+  std::vector<float> scratch =
+      common::BufferPool::Global()->AcquireUninitialized(
+          static_cast<size_t>(m) * k4 + m);
+  uint8_t* qa = reinterpret_cast<uint8_t*>(scratch.data());
+  float* row_scale = scratch.data() + static_cast<size_t>(m) * k4;
+  const float* pa = a.data().data();
+  const kernels::KernelTable& kt = kernels::Active();
+  common::ParallelFor(
+      0, m, common::GrainFor(m, 2 * static_cast<int64_t>(k),
+                             kt.row_grain_ops),
+      [&](int64_t ib, int64_t ie) {
+        kt.quantize_act_rows(pa, qa, row_scale, ib, ie, k, k4, b.scale);
+      });
+
+  Tensor out = Tensor::Uninitialized({m, n});
+  float* po = out.mutable_data().data();
+  // Grain floored at the kernel's row tile: each output row costs far more
+  // than the grain target, so GrainFor alone would hand the kernel one row
+  // per chunk and its 4-row packed-B blocking would never engage.
+  const int64_t cost_per_row = k4 * 4 * static_cast<int64_t>(n);
+  const int64_t grain =
+      std::max<int64_t>(kernels::kQgemmRowTile,
+                        common::GrainFor(m, cost_per_row, kt.row_grain_ops));
+  common::ParallelFor(
+      0, m, grain,
+      [&](int64_t ib, int64_t ie) {
+        kt.qgemm_rows(qa, row_scale, b.packed.data(), b.col_sums.data(), po,
+                      ib, ie, k4, n);
+      });
+  common::BufferPool::Global()->Release(std::move(scratch));
+  return out;
+}
+
+Tensor Bf16MatMul(const Tensor& a, const Bf16Tensor& b) {
+  STGNN_CHECK_EQ(a.ndim(), 2);
+  STGNN_CHECK_EQ(a.dim(1), b.rows);
+  STGNN_TRACE_SCOPE("Bf16MatMul");
+  STGNN_COUNTER_INC("op.bf16_matmul");
+  Tensor dense = Tensor::Uninitialized({b.rows, b.cols});
+  float* d = dense.mutable_data().data();
+  for (size_t i = 0; i < b.data.size(); ++i) {
+    d[i] = Bf16ToFloat(b.data[i]);
+  }
+  return MatMul(a, dense);
+}
+
+}  // namespace stgnn::tensor

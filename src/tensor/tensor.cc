@@ -10,6 +10,7 @@
 #include "common/counters.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "tensor/kernels/kernels.h"
 
 namespace stgnn::tensor {
 
@@ -583,82 +584,6 @@ void EluInPlace(Tensor* a, float alpha) {
   });
 }
 
-namespace {
-
-// Tiling parameters for the packed MatMul: the microkernel computes a
-// kMmRowTile x kMmPanel output tile from kMmPanel-wide packed panels of B,
-// and rows are fanned out across the thread pool. The per-element
-// accumulation order (p ascending over the full k) is identical in every
-// path, so results are bit-stable across thread counts.
-constexpr int kMmRowTile = 4;
-constexpr int kMmPanel = 64;
-// Below this m*k*n the branch-free ikj loop wins (packing overhead).
-constexpr int64_t kMmSmallFlops = int64_t{48} * 48 * 48;
-
-// Plain ikj kernel for small products. Deliberately branch-free in the
-// inner loops: the former `if (aval == 0.0f) continue;` sparse skip cost
-// more in branch mispredictions on dense inputs than it saved; callers
-// with genuinely sparse operands should pre-scan rows instead.
-void MatMulSmall(const float* pa, const float* pb, float* po, int m, int k,
-                 int n) {
-  for (int i = 0; i < m; ++i) {
-    float* orow = po + static_cast<size_t>(i) * n;
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float aval = arow[p];
-      const float* brow = pb + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
-    }
-  }
-}
-
-// Computes rows [ib, ie) against panel `q` of packed B (width w columns
-// starting at j0), accumulating the full k extent before storing.
-void MatMulPanelRows(const float* pa, const float* panel, float* po,
-                     int64_t ib, int64_t ie, int k, int n, int j0, int w) {
-  for (int64_t i0 = ib; i0 < ie; i0 += kMmRowTile) {
-    const int rows = static_cast<int>(std::min<int64_t>(kMmRowTile, ie - i0));
-    float acc[kMmRowTile][kMmPanel];
-    for (int r = 0; r < rows; ++r) {
-      std::fill(acc[r], acc[r] + w, 0.0f);
-    }
-    if (rows == kMmRowTile && w == kMmPanel) {
-      // Register-blocked hot tile: 4 rows share every load of the packed
-      // panel row, and the constant trip count vectorises cleanly.
-      const float* a0 = pa + (i0 + 0) * k;
-      const float* a1 = pa + (i0 + 1) * k;
-      const float* a2 = pa + (i0 + 2) * k;
-      const float* a3 = pa + (i0 + 3) * k;
-      for (int p = 0; p < k; ++p) {
-        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
-        const float v0 = a0[p];
-        const float v1 = a1[p];
-        const float v2 = a2[p];
-        const float v3 = a3[p];
-        for (int j = 0; j < kMmPanel; ++j) {
-          acc[0][j] += v0 * bp[j];
-          acc[1][j] += v1 * bp[j];
-          acc[2][j] += v2 * bp[j];
-          acc[3][j] += v3 * bp[j];
-        }
-      }
-    } else {
-      for (int p = 0; p < k; ++p) {
-        const float* bp = panel + static_cast<size_t>(p) * kMmPanel;
-        for (int r = 0; r < rows; ++r) {
-          const float v = pa[(i0 + r) * k + p];
-          for (int j = 0; j < w; ++j) acc[r][j] += v * bp[j];
-        }
-      }
-    }
-    for (int r = 0; r < rows; ++r) {
-      std::copy(acc[r], acc[r] + w, po + (i0 + r) * n + j0);
-    }
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   STGNN_CHECK_EQ(a.ndim(), 2);
   STGNN_CHECK_EQ(b.ndim(), 2);
@@ -674,13 +599,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   STGNN_COUNTER_ADD("bytes.matmul_in",
                     (int64_t{4} * m * k) + (int64_t{4} * k * n));
   if (m == 0 || k == 0 || n == 0) return Tensor({m, n});
+  // The kernel table carries the per-ISA variants plus their tuning (small
+  // threshold, chunk flops); every fp32 variant is bit-identical, so the
+  // ISA and the path taken never change the result, only the speed.
+  const kernels::KernelTable& kt = kernels::Active();
+  constexpr int kMmRowTile = kernels::kMmRowTile;
+  constexpr int kMmPanel = kernels::kMmPanel;
   const int64_t flops = static_cast<int64_t>(m) * k * n;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
-  if (flops <= kMmSmallFlops) {
+  if (flops <= kt.mm_small_flops) {
     // The small kernel accumulates += into the output, so it needs zeros.
     Tensor out({m, n});
-    MatMulSmall(pa, pb, out.mutable_data().data(), m, k, n);
+    kt.matmul_small(pa, pb, out.mutable_data().data(), m, k, n);
     return out;
   }
   // The panel path stores full-k accumulators, overwriting every output
@@ -709,18 +640,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     }
   });
 
-  // Fan rows out across the pool; aim for >= ~256k flops per chunk so the
-  // dispatch cost stays negligible.
+  // Fan rows out across the pool; the per-ISA chunk-flop target keeps the
+  // dispatch cost negligible relative to how fast the variant retires work.
   const int64_t row_flops = int64_t{2} * k * n;
   const int64_t grain = std::max<int64_t>(
-      kMmRowTile, (int64_t{1} << 18) / std::max<int64_t>(row_flops, 1));
+      kMmRowTile, kt.mm_chunk_flops / std::max<int64_t>(row_flops, 1));
   common::ParallelFor(0, m, grain, [&](int64_t ib, int64_t ie) {
     for (int q = 0; q < num_panels; ++q) {
       const int j0 = q * kMmPanel;
       const int w = std::min(kMmPanel, n - j0);
       const float* panel =
           packed.data() + static_cast<size_t>(q) * k * kMmPanel;
-      MatMulPanelRows(pa, panel, po, ib, ie, k, n, j0, w);
+      kt.matmul_panel_rows(pa, panel, po, ib, ie, k, n, j0, w);
     }
   });
   common::BufferPool::Global()->Release(std::move(packed));

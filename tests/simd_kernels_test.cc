@@ -1,0 +1,368 @@
+// Bitwise-parity suite for the runtime-dispatched SIMD microkernels
+// (src/tensor/kernels/). The dispatch contract says every fp32 variant —
+// scalar, AVX2, AVX-512 — produces bit-identical results, and that the
+// thread-pool fan-out never changes bits either; these tests pin both
+// claims by running the same inputs through every ISA the host supports at
+// 1, 2, and 7 kernel threads and comparing raw float bits.
+//
+// Shapes are deliberately awkward (odd dims, just-past-tile sizes) so the
+// vector kernels' remainder handling is on the hook, and a coverage test
+// sweeps widths around every tile boundary to prove no dispatched kernel
+// drops tail rows or columns. Finite-difference gradcheck runs through the
+// dispatched kernels per ISA, and gradients themselves are compared
+// bitwise across ISAs.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/cpuid.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gradcheck.h"
+#include "gtest/gtest.h"
+#include "nn/optimizer.h"
+#include "tensor/csr.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+
+namespace stgnn {
+namespace {
+
+namespace ag = autograd;
+using tensor::Tensor;
+
+std::vector<common::Isa> AvailableIsas() {
+  std::vector<common::Isa> isas = {common::Isa::kScalar};
+  if (common::IsaSupported(common::Isa::kAvx2)) {
+    isas.push_back(common::Isa::kAvx2);
+  }
+  if (common::IsaSupported(common::Isa::kAvx512)) {
+    isas.push_back(common::Isa::kAvx512);
+  }
+  return isas;
+}
+
+// Restores the ambient ISA and thread count when a test scope ends, so the
+// per-test overrides cannot leak into other tests in this binary.
+struct DispatchGuard {
+  common::Isa isa = common::ActiveIsa();
+  int threads = common::GetNumThreads();
+  ~DispatchGuard() {
+    common::SetIsa(isa);
+    common::SetNumThreads(threads);
+  }
+};
+
+Tensor RandomTensor(tensor::Shape shape, common::Rng* rng, float lo = -1.0f,
+                    float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.flat(i) = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+::testing::AssertionResult BitsEqual(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  if (std::memcmp(a.data().data(), b.data().data(),
+                  static_cast<size_t>(a.size()) * sizeof(float)) != 0) {
+    for (int64_t i = 0; i < a.size(); ++i) {
+      uint32_t ba, bb;
+      std::memcpy(&ba, &a.data()[i], 4);
+      std::memcpy(&bb, &b.data()[i], 4);
+      if (ba != bb) {
+        return ::testing::AssertionFailure()
+               << "first differing element " << i << ": " << std::scientific
+               << a.flat(i) << " vs " << b.flat(i);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+TEST(SimdKernels, MatMulBitwiseParityAcrossIsasAndThreadCounts) {
+  DispatchGuard guard;
+  // Small-path, panel-path, and just-past-tile shapes; odd dims exercise
+  // every remainder branch of the vector kernels.
+  const struct {
+    int m, k, n;
+  } kShapes[] = {{5, 13, 37}, {1, 100, 1}, {4, 64, 64},
+                 {70, 65, 70}, {129, 64, 131}};
+  for (const auto& s : kShapes) {
+    common::Rng rng(1000 + s.m + s.k + s.n);
+    const Tensor a = RandomTensor({s.m, s.k}, &rng);
+    const Tensor b = RandomTensor({s.k, s.n}, &rng);
+    common::SetIsa(common::Isa::kScalar);
+    common::SetNumThreads(1);
+    const Tensor reference = tensor::MatMul(a, b);
+    for (int threads : kThreadCounts) {
+      common::SetNumThreads(threads);
+      for (common::Isa isa : AvailableIsas()) {
+        common::SetIsa(isa);
+        EXPECT_TRUE(BitsEqual(reference, tensor::MatMul(a, b)))
+            << common::IsaName(isa) << " threads=" << threads << " shape "
+            << s.m << "x" << s.k << "x" << s.n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, SpmmBitwiseParityAcrossIsasAndThreadCounts) {
+  DispatchGuard guard;
+  const struct {
+    int m, k, f;
+  } kShapes[] = {{9, 9, 5}, {33, 29, 37}, {65, 65, 64}};
+  for (const auto& s : kShapes) {
+    common::Rng rng(2000 + s.m + s.f);
+    Tensor dense({s.m, s.k});
+    for (int64_t i = 0; i < dense.size(); ++i) {
+      if (rng.Bernoulli(0.3)) {
+        dense.flat(i) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    const tensor::Csr csr = tensor::Csr::FromDense(dense);
+    const Tensor x = RandomTensor({s.k, s.f}, &rng);
+    common::SetIsa(common::Isa::kScalar);
+    common::SetNumThreads(1);
+    const Tensor reference = tensor::SpMM(csr, x);
+    for (int threads : kThreadCounts) {
+      common::SetNumThreads(threads);
+      for (common::Isa isa : AvailableIsas()) {
+        common::SetIsa(isa);
+        EXPECT_TRUE(BitsEqual(reference, tensor::SpMM(csr, x)))
+            << common::IsaName(isa) << " threads=" << threads << " shape "
+            << s.m << "x" << s.k << " f=" << s.f;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AdamKernelBitwiseParityAcrossIsas) {
+  constexpr int64_t kLen = 1031;  // odd, so every vector width has a tail
+  common::Rng rng(3000);
+  std::vector<float> g(kLen), m0(kLen), v0(kLen), p0(kLen);
+  for (int64_t i = 0; i < kLen; ++i) {
+    g[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    m0[i] = static_cast<float>(rng.Uniform(-0.1, 0.1));
+    v0[i] = static_cast<float>(rng.Uniform(0.0, 0.1));
+    p0[i] = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  }
+  const float beta1 = 0.9f, beta2 = 0.999f;
+  const float bias1 = 1.0f - beta1, bias2 = 1.0f - beta2;  // step 1
+  for (const float* grad : {static_cast<const float*>(g.data()),
+                            static_cast<const float*>(nullptr)}) {
+    std::vector<float> mr = m0, vr = v0, pr = p0;
+    tensor::kernels::ScalarAdamStep(grad, mr.data(), vr.data(), pr.data(), 0,
+                                    kLen, beta1, beta2, bias1, bias2, 0.01f,
+                                    1e-8f);
+    for (common::Isa isa : AvailableIsas()) {
+      const tensor::kernels::KernelTable& kt = tensor::kernels::TableFor(isa);
+      std::vector<float> m = m0, v = v0, p = p0;
+      kt.adam_step(grad, m.data(), v.data(), p.data(), 0, kLen, beta1, beta2,
+                   bias1, bias2, 0.01f, 1e-8f);
+      EXPECT_EQ(std::memcmp(m.data(), mr.data(), kLen * sizeof(float)), 0)
+          << kt.name << (grad ? "" : " null-grad") << " m";
+      EXPECT_EQ(std::memcmp(v.data(), vr.data(), kLen * sizeof(float)), 0)
+          << kt.name << (grad ? "" : " null-grad") << " v";
+      EXPECT_EQ(std::memcmp(p.data(), pr.data(), kLen * sizeof(float)), 0)
+          << kt.name << (grad ? "" : " null-grad") << " p";
+    }
+  }
+}
+
+TEST(SimdKernels, AdamOptimizerBitwiseParityAcrossIsasAndThreadCounts) {
+  DispatchGuard guard;
+  common::Rng rng(4000);
+  const Tensor w0 = RandomTensor({33, 17}, &rng);
+  const Tensor a = RandomTensor({9, 33}, &rng);
+  auto train_once = [&](common::Isa isa, int threads) {
+    common::SetIsa(isa);
+    common::SetNumThreads(threads);
+    ag::Variable w = ag::Variable::Parameter(w0);
+    nn::Adam optimizer({w}, 0.01f);
+    for (int step = 0; step < 3; ++step) {
+      ag::Variable loss =
+          ag::SumAll(ag::MatMul(ag::Variable::Constant(a), w));
+      w.node()->grad_initialized = false;  // zero-grad between steps
+      loss.Backward();
+      optimizer.Step();
+    }
+    return w.value();
+  };
+  const Tensor reference = train_once(common::Isa::kScalar, 1);
+  for (int threads : kThreadCounts) {
+    for (common::Isa isa : AvailableIsas()) {
+      EXPECT_TRUE(BitsEqual(reference, train_once(isa, threads)))
+          << common::IsaName(isa) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(SimdKernels, QuantizedGemmBitwiseParityAcrossIsas) {
+  DispatchGuard guard;
+  const struct {
+    int m, k, n;
+  } kShapes[] = {{3, 9, 11}, {17, 31, 67}, {8, 64, 64}};
+  for (const auto& s : kShapes) {
+    common::Rng rng(5000 + s.n);
+    const Tensor a = RandomTensor({s.m, s.k}, &rng);
+    const Tensor w = RandomTensor({s.k, s.n}, &rng);
+    const tensor::QuantizedTensor qw = tensor::QuantizeInt8(w);
+    common::SetIsa(common::Isa::kScalar);
+    const Tensor reference = tensor::QuantizedMatMul(a, qw);
+    for (common::Isa isa : AvailableIsas()) {
+      common::SetIsa(isa);
+      // Integer accumulation is exact, so the int8 path is bitwise
+      // identical across ISAs by construction.
+      EXPECT_TRUE(BitsEqual(reference, tensor::QuantizedMatMul(a, qw)))
+          << common::IsaName(isa) << " shape " << s.m << "x" << s.k << "x"
+          << s.n;
+    }
+  }
+}
+
+// No dispatched kernel may drop tail rows or columns: sweep widths around
+// every vector-width and tile boundary and check each output element
+// against a double-precision reference. Inputs are strictly positive so a
+// skipped element (stuck at 0 or NaN) cannot masquerade as correct.
+TEST(SimdKernels, RowAndColumnCoverageAtAwkwardShapes) {
+  constexpr int kPanel = tensor::kernels::kMmPanel;
+  const int kWidths[] = {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33,
+                         kPanel - 1, kPanel, kPanel + 1, 2 * kPanel + 2};
+  const int kRows[] = {1, 3, 4, 5, 9};
+  constexpr int kDepth = 17;
+  common::Rng rng(6000);
+  for (common::Isa isa : AvailableIsas()) {
+    const tensor::kernels::KernelTable& kt = tensor::kernels::TableFor(isa);
+    for (int m : kRows) {
+      for (int n : kWidths) {
+        const Tensor a = RandomTensor({m, kDepth}, &rng, 0.5f, 1.5f);
+        const Tensor b = RandomTensor({kDepth, n}, &rng, 0.5f, 1.5f);
+        std::vector<double> ref(static_cast<size_t>(m) * n, 0.0);
+        for (int i = 0; i < m; ++i) {
+          for (int p = 0; p < kDepth; ++p) {
+            for (int j = 0; j < n; ++j) {
+              ref[static_cast<size_t>(i) * n + j] +=
+                  static_cast<double>(a.flat(i * kDepth + p)) *
+                  b.flat(p * n + j);
+            }
+          }
+        }
+        auto expect_close = [&](const std::vector<float>& out,
+                                const char* kernel) {
+          for (size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_NEAR(out[i], ref[i], 1e-3 * std::fabs(ref[i]))
+                << kt.name << " " << kernel << " m=" << m << " n=" << n
+                << " element " << i;
+          }
+        };
+
+        // matmul_small accumulates into a zeroed output.
+        std::vector<float> small(static_cast<size_t>(m) * n, 0.0f);
+        kt.matmul_small(a.data().data(), b.data().data(), small.data(), m,
+                        kDepth, n);
+        expect_close(small, "matmul_small");
+
+        // matmul_panel_rows overwrites every element exactly once, so a NaN
+        // sentinel catches any row or column the kernel never visited.
+        const int num_panels = (n + kPanel - 1) / kPanel;
+        std::vector<float> packed(
+            static_cast<size_t>(num_panels) * kDepth * kPanel, 0.0f);
+        for (int q = 0; q < num_panels; ++q) {
+          const int j0 = q * kPanel;
+          const int w = std::min(kPanel, n - j0);
+          for (int p = 0; p < kDepth; ++p) {
+            for (int j = 0; j < w; ++j) {
+              packed[(static_cast<size_t>(q) * kDepth + p) * kPanel + j] =
+                  b.flat(p * n + j0 + j);
+            }
+          }
+        }
+        std::vector<float> panel_out(
+            static_cast<size_t>(m) * n,
+            std::numeric_limits<float>::quiet_NaN());
+        for (int q = 0; q < num_panels; ++q) {
+          const int j0 = q * kPanel;
+          const int w = std::min(kPanel, n - j0);
+          kt.matmul_panel_rows(
+              a.data().data(),
+              packed.data() + static_cast<size_t>(q) * kDepth * kPanel,
+              panel_out.data(), 0, m, kDepth, n, j0, w);
+        }
+        for (size_t i = 0; i < panel_out.size(); ++i) {
+          EXPECT_FALSE(std::isnan(panel_out[i]))
+              << kt.name << " matmul_panel_rows left element " << i
+              << " unwritten at m=" << m << " n=" << n;
+        }
+        expect_close(panel_out, "matmul_panel_rows");
+
+        // spmm_rows over a fully-dense pattern must agree with the same
+        // reference (every row of the pattern is non-empty by
+        // construction, so zeros cannot hide a skipped row).
+        const tensor::Csr csr = tensor::Csr::FromDense(a);
+        ASSERT_EQ(csr.nnz(), a.size());
+        std::vector<float> spmm_out(static_cast<size_t>(m) * n, 0.0f);
+        kt.spmm_rows(csr.row_ptr().data(), csr.col_idx().data(),
+                     csr.values().data(), b.data().data(), spmm_out.data(),
+                     0, m, n);
+        expect_close(spmm_out, "spmm_rows");
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, GradientBitwiseParityAcrossIsas) {
+  DispatchGuard guard;
+  common::Rng rng(7000);
+  // Big enough to take the packed panel path on every ISA's threshold.
+  const Tensor av = RandomTensor({66, 62}, &rng);
+  const Tensor bv = RandomTensor({62, 66}, &rng);
+  auto grads_at = [&](common::Isa isa) {
+    common::SetIsa(isa);
+    ag::Variable a = ag::Variable::Parameter(av);
+    ag::Variable b = ag::Variable::Parameter(bv);
+    ag::SumAll(ag::MatMul(a, b)).Backward();
+    return std::make_pair(a.grad(), b.grad());
+  };
+  common::SetNumThreads(1);
+  const auto reference = grads_at(common::Isa::kScalar);
+  for (int threads : kThreadCounts) {
+    common::SetNumThreads(threads);
+    for (common::Isa isa : AvailableIsas()) {
+      const auto got = grads_at(isa);
+      EXPECT_TRUE(BitsEqual(reference.first, got.first))
+          << common::IsaName(isa) << " threads=" << threads << " grad a";
+      EXPECT_TRUE(BitsEqual(reference.second, got.second))
+          << common::IsaName(isa) << " threads=" << threads << " grad b";
+    }
+  }
+}
+
+TEST(SimdKernels, GradcheckThroughDispatchedKernels) {
+  DispatchGuard guard;
+  common::Rng rng(8000);
+  const Tensor a = RandomTensor({7, 9}, &rng);
+  const Tensor b = RandomTensor({9, 11}, &rng);
+  for (common::Isa isa : AvailableIsas()) {
+    common::SetIsa(isa);
+    SCOPED_TRACE(common::IsaName(isa));
+    stgnn::testing::ExpectGradientsClose(
+        [](const std::vector<ag::Variable>& inputs) {
+          return ag::SumAll(ag::MatMul(inputs[0], inputs[1]));
+        },
+        {a, b});
+  }
+}
+
+}  // namespace
+}  // namespace stgnn

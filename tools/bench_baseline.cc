@@ -36,15 +36,18 @@
 #include <string>
 #include <vector>
 
+#include "autograd/inference_precision.h"
 #include "autograd/ops.h"
 #include "common/buffer_pool.h"
 #include "common/counters.h"
+#include "common/cpuid.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/aggregators.h"
 #include "nn/optimizer.h"
 #include "tensor/csr.h"
+#include "tensor/precision.h"
 #include "tensor/tensor.h"
 
 namespace stgnn {
@@ -225,6 +228,9 @@ struct E2eMeasurement {
   double items;  // predictions per step (n*n)
   double fresh_allocs_per_step;
   double pool_hits_per_step;
+  // Weight precision the step ran with: fp32 for the regular rows, bf16 /
+  // int8 for the quantized inference rows.
+  std::string precision = "fp32";
 };
 
 // Fresh heap allocations made through the pool since `before`: misses while
@@ -290,6 +296,23 @@ void MeasureE2e(std::vector<E2eMeasurement>* out) {
         Variable o = layer.Forward(features, flow);
         sink = sink + o.value().flat(0);
       }));
+      // Quantized inference rows (pooled only): the same forward through
+      // bf16 / int8 weight snapshots, the serving path's reduced-precision
+      // tiers. Training rows are always fp32 by design.
+      if (pooled != 0) {
+        for (tensor::Precision precision :
+             {tensor::Precision::kBf16, tensor::Precision::kInt8}) {
+          const auto quantized = autograd::BuildQuantizedWeightSet(
+              precision, layer.parameters());
+          E2eMeasurement m = MeasureStep("inference_step", n, true, [&] {
+            autograd::QuantizedInferenceScope scope(quantized.get());
+            Variable o = layer.Forward(features, flow);
+            sink = sink + o.value().flat(0);
+          });
+          m.precision = tensor::PrecisionName(precision);
+          out->push_back(m);
+        }
+      }
     }
   }
   pool->SetEnabled(prior);
@@ -303,8 +326,10 @@ int WriteE2eJson(const std::string& path,
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"stgnn-bench-e2e-v1\",\n");
+  std::fprintf(f, "  \"schema\": \"stgnn-bench-e2e-v2\",\n");
   std::fprintf(f, "  \"hardware_threads\": %d,\n", common::HardwareThreads());
+  std::fprintf(f, "  \"isa\": \"%s\",\n",
+               common::IsaName(common::ActiveIsa()));
   std::fprintf(f, "  \"model\": \"FlowGnnLayer fwd + MSE + release-graph "
                   "bwd + fused Adam, 25%% density flow matrix\",\n");
   std::fprintf(f, "  \"runs\": [\n");
@@ -312,14 +337,35 @@ int WriteE2eJson(const std::string& path,
     const E2eMeasurement& m = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"n\": %d, \"pooled\": %s, "
+                 "\"precision\": \"%s\", "
                  "\"ns_per_step\": %.1f, \"items_per_s\": %.3e, "
                  "\"fresh_allocs_per_step\": %.1f, "
                  "\"pool_hits_per_step\": %.1f}%s\n",
-                 m.name.c_str(), m.n, m.pooled ? "true" : "false", m.ns_per_op,
+                 m.name.c_str(), m.n, m.pooled ? "true" : "false",
+                 m.precision.c_str(), m.ns_per_op,
                  m.items / (m.ns_per_op * 1e-9), m.fresh_allocs_per_step,
                  m.pool_hits_per_step, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Pooled-minus-unpooled relative time delta per (name, n) at fp32:
+  // positive means the pooled step is SLOWER. Tracks the known n=512
+  // pooled-inference regression instead of letting it hide in raw rows.
+  std::fprintf(f, "  \"pooled_vs_unpooled_delta\": {");
+  bool first = true;
+  for (const E2eMeasurement& m : results) {
+    if (!m.pooled || m.precision != "fp32") continue;
+    for (const E2eMeasurement& base : results) {
+      if (base.pooled || base.precision != "fp32" || base.name != m.name ||
+          base.n != m.n || base.ns_per_op <= 0.0) {
+        continue;
+      }
+      std::fprintf(f, "%s\"%s_%d\": %.4f", first ? "" : ", ",
+                   m.name.c_str(), m.n,
+                   (m.ns_per_op - base.ns_per_op) / base.ns_per_op);
+      first = false;
+    }
+  }
+  std::fprintf(f, "}\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
   return 0;

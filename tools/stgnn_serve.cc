@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/cpuid.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -173,12 +174,19 @@ struct Fixture {
   }
 
   // Republishes the same weights with the slot cache toggled — the knob
-  // lives in the snapshot's config, so a hot-swap flips it.
+  // lives in the snapshot's config, so a hot-swap flips it. When the
+  // config asks for a reduced inference precision (STGNN_INFER_PRECISION),
+  // the snapshot carries quantized weights and the service serves through
+  // the quantized path.
   void Publish(bool serve_cache) {
     core::StgnnConfig snapshot_config = config;
     snapshot_config.serve_cache = serve_cache;
-    registry.Publish(serve::ModelSnapshot(model, *normalizer, input_scale,
-                                          snapshot_config));
+    serve::ModelSnapshot snapshot(model, *normalizer, input_scale,
+                                  snapshot_config);
+    if (config.infer_precision != tensor::Precision::kFp32) {
+      serve::QuantizeSnapshot(&snapshot, config.infer_precision);
+    }
+    registry.Publish(std::move(snapshot));
   }
 
   std::unique_ptr<data::FlowDataset> flow;
@@ -288,8 +296,12 @@ int WriteJson(const std::string& path, const Options& options,
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v2\",\n");
+  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v3\",\n");
   std::fprintf(f, "  \"hardware_threads\": %d,\n", common::HardwareThreads());
+  std::fprintf(f, "  \"isa\": \"%s\",\n",
+               common::IsaName(common::ActiveIsa()));
+  std::fprintf(f, "  \"precision\": \"%s\",\n",
+               tensor::PrecisionName(core::DefaultInferPrecision()));
   std::fprintf(f,
                "  \"model\": \"untrained StgnnDjd k=8 d=1 fcg=1 pcg=1 "
                "heads=2, hourly slots\",\n");
@@ -484,6 +496,43 @@ int Main(const Options& options) {
                      static_cast<long long>(min_hits),
                      static_cast<long long>(r.assemblies), options.workers);
         return 1;
+      }
+    }
+    // When a reduced precision is selected the quantized path must have
+    // actually engaged: a snapshot with quantized tensors, bytes saved,
+    // and every batch served through the scope. A silent fp32 fallback
+    // would pass every latency/checksum check above, so this is the
+    // liveness gate for the quantized serving path.
+    const tensor::Precision precision = core::DefaultInferPrecision();
+#if defined(STGNN_TRACING_ENABLED)
+    if (precision != tensor::Precision::kFp32) {
+      const int64_t quant_tensors =
+          common::counters::FindOrCreate("quant.tensors")->value();
+      const int64_t quant_bytes =
+          common::counters::FindOrCreate("quant.bytes_saved")->value();
+      const int64_t quant_batches =
+          common::counters::FindOrCreate("serve.quantized_batches")->value();
+      if (quant_tensors <= 0 || quant_bytes <= 0 || quant_batches <= 0) {
+        std::fprintf(stderr,
+                     "smoke FAILED: precision=%s but quant.tensors=%lld, "
+                     "quant.bytes_saved=%lld, serve.quantized_batches=%lld "
+                     "(quantized path never engaged)\n",
+                     tensor::PrecisionName(precision),
+                     static_cast<long long>(quant_tensors),
+                     static_cast<long long>(quant_bytes),
+                     static_cast<long long>(quant_batches));
+        return 1;
+      }
+    }
+#endif
+    // Stable per-precision digest for CI to diff: the quantized paths must
+    // change prediction bits relative to an fp32 run of the same load.
+    for (const RunResult& r : runs) {
+      if (r.mode == "paced" && r.serve_cache) {
+        std::printf("SMOKE_CHECKSUM precision=%s isa=%s n=%d value=%016llx\n",
+                    tensor::PrecisionName(precision),
+                    common::IsaName(common::ActiveIsa()), r.n,
+                    static_cast<unsigned long long>(r.checksum));
       }
     }
     std::fprintf(stderr, "smoke OK\n");
