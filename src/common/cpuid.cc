@@ -19,7 +19,7 @@ Isa ResolveFromEnv() {
   if (!ParseIsa(env, &requested)) {
     std::fprintf(stderr,
                  "stgnn: STGNN_ISA=%s not recognised "
-                 "(want scalar|avx2|avx512); using %s\n",
+                 "(want scalar|avx2|avx512|avx512vnni); using %s\n",
                  env, IsaName(best));
     return best;
   }
@@ -42,6 +42,7 @@ Isa DetectBestIsa() {
       __builtin_cpu_supports("avx512bw") &&
       __builtin_cpu_supports("avx512dq") &&
       __builtin_cpu_supports("avx512vl")) {
+    if (__builtin_cpu_supports("avx512vnni")) return Isa::kAvx512Vnni;
     return Isa::kAvx512;
   }
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
@@ -83,6 +84,8 @@ const char* IsaName(Isa isa) {
       return "avx2";
     case Isa::kAvx512:
       return "avx512";
+    case Isa::kAvx512Vnni:
+      return "avx512vnni";
   }
   return "scalar";
 }
@@ -99,6 +102,10 @@ bool ParseIsa(const char* text, Isa* out) {
   }
   if (std::strcmp(text, "avx512") == 0) {
     *out = Isa::kAvx512;
+    return true;
+  }
+  if (std::strcmp(text, "avx512vnni") == 0) {
+    *out = Isa::kAvx512Vnni;
     return true;
   }
   return false;

@@ -4,19 +4,21 @@
 // Runtime CPU-feature detection and the process-wide ISA selection used by
 // the dispatched microkernels in src/tensor/kernels/. The selected ISA is
 // resolved once (first call to ActiveIsa), honouring the STGNN_ISA
-// environment variable (scalar|avx2|avx512) clamped to what the host
-// actually supports; tests may override it at runtime with SetIsa.
+// environment variable (scalar|avx2|avx512|avx512vnni) clamped to what the
+// host actually supports; tests may override it at runtime with SetIsa.
 //
 // All fp32 kernel variants are bit-identical by construction (see
-// src/tensor/kernels/kernels.h), so the ISA choice is pure performance —
-// switching it mid-process is safe and only affects speed.
+// src/tensor/kernels/kernels.h), and the int8 qgemm accumulates in exact
+// int32 on every tier, so the ISA choice is pure performance — switching it
+// mid-process is safe and only affects speed.
 
 namespace stgnn::common {
 
 enum class Isa {
   kScalar = 0,
-  kAvx2 = 1,    // AVX2 + FMA
-  kAvx512 = 2,  // AVX-512 F/BW/DQ/VL (+ FMA)
+  kAvx2 = 1,        // AVX2 + FMA
+  kAvx512 = 2,      // AVX-512 F/BW/DQ/VL (+ FMA)
+  kAvx512Vnni = 3,  // AVX-512 F/BW/DQ/VL + VNNI (vpdpbusd int8 dot-product)
 };
 
 // Best ISA the host supports (ignores STGNN_ISA). On non-x86 builds this is
@@ -36,11 +38,11 @@ Isa ActiveIsa();
 // installed.
 Isa SetIsa(Isa isa);
 
-// "scalar" | "avx2" | "avx512".
+// "scalar" | "avx2" | "avx512" | "avx512vnni".
 const char* IsaName(Isa isa);
 
-// Parses "scalar"/"avx2"/"avx512" (case-sensitive). Returns false on
-// unknown input and leaves *out untouched.
+// Parses "scalar"/"avx2"/"avx512"/"avx512vnni" (case-sensitive). Returns
+// false on unknown input and leaves *out untouched.
 bool ParseIsa(const char* text, Isa* out);
 
 }  // namespace stgnn::common

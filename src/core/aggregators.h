@@ -46,6 +46,12 @@ class FlowGnnLayer : public nn::Module {
       const autograd::Variable& flow_weights,
       const std::shared_ptr<const tensor::Csr>& pattern = nullptr) const;
 
+  // Parameter access for the sharded staged forward, which recomputes row
+  // subsets of this layer and must multiply against the same weight
+  // Variable so int8 weight lookups resolve identically.
+  const autograd::Variable& weight() const { return weight_; }
+  bool self_term() const { return self_term_; }
+
  private:
   bool self_term_;
   autograd::Variable weight_;  // W^k, [f, f]
@@ -99,6 +105,16 @@ class AttentionGnnLayer : public nn::Module {
   }
 
   int num_heads() const { return num_heads_; }
+  int feature_dim() const { return feature_dim_; }
+  bool self_term() const { return self_term_; }
+
+  // Per-head parameter access for the sharded staged forward (see
+  // FlowGnnLayer::weight()).
+  const autograd::Variable& w8(int head) const { return w8_[head]; }
+  const autograd::Variable& a_src(int head) const { return a_src_[head]; }
+  const autograd::Variable& a_dst(int head) const { return a_dst_[head]; }
+  const autograd::Variable& phi(int head) const { return phi_[head]; }
+  const autograd::Variable& w10() const { return w10_; }
 
  private:
   int feature_dim_;

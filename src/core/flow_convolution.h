@@ -32,6 +32,24 @@ class FlowConvolution : public nn::Module {
   Output Forward(const data::StHistory& history) const;
 
   int num_stations() const { return num_stations_; }
+  int short_term_slots() const { return short_term_slots_; }
+  int long_term_days() const { return long_term_days_; }
+
+  // Parameter access for the sharded staged forward (core/sharded_forward),
+  // which re-expresses Forward() as row-subset computations and needs the
+  // *same Variable objects* so the quantized-weight registry (keyed by
+  // parameter node identity) resolves identically on both paths.
+  const autograd::Variable& w1() const { return w1_; }
+  const autograd::Variable& b1() const { return b1_; }
+  const autograd::Variable& w2() const { return w2_; }
+  const autograd::Variable& b2() const { return b2_; }
+  const autograd::Variable& w3() const { return w3_; }
+  const autograd::Variable& b3() const { return b3_; }
+  const autograd::Variable& w4() const { return w4_; }
+  const autograd::Variable& b4() const { return b4_; }
+  const autograd::Variable& w5() const { return w5_; }
+  const autograd::Variable& w6() const { return w6_; }
+  const autograd::Variable& w7() const { return w7_; }
 
  private:
   // Applies a 1x1 conv branch: ReLU(reshape(weight * stacked) + bias).

@@ -60,6 +60,26 @@ FlowConvolutedGraph BuildFlowConvolutedGraph(
       BuildFcgPattern(temporal_inflow.value(), temporal_outflow.value()));
 }
 
+int64_t CountHaloRows(const tensor::Csr& pattern,
+                      const std::vector<int>& owner, int shard) {
+  STGNN_CHECK_EQ(static_cast<int>(owner.size()), pattern.cols());
+  const auto& row_ptr = pattern.row_ptr();
+  const auto& col_idx = pattern.col_idx();
+  std::vector<char> seen(owner.size(), 0);
+  int64_t halo = 0;
+  for (int i = 0; i < pattern.rows(); ++i) {
+    if (i >= static_cast<int>(owner.size()) || owner[i] != shard) continue;
+    for (int e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const int j = col_idx[e];
+      if (owner[j] != shard && !seen[j]) {
+        seen[j] = 1;
+        ++halo;
+      }
+    }
+  }
+  return halo;
+}
+
 const Tensor& DensePatternMask(int num_stations) {
   STGNN_CHECK_GT(num_stations, 0);
   // Leaked cache (matches the trace/counter registries: pool workers may

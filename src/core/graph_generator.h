@@ -2,6 +2,7 @@
 #define STGNN_CORE_GRAPH_GENERATOR_H_
 
 #include <memory>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "tensor/csr.h"
@@ -55,6 +56,16 @@ FlowConvolutedGraph BuildFlowConvolutedGraph(
     const autograd::Variable& node_features,
     const autograd::Variable& temporal_inflow,
     const autograd::Variable& temporal_outflow);
+
+// Sharded-serving halo extraction: the number of *distinct remote* stations
+// that appear as in-neighbours of shard `shard`'s rows under `pattern`
+// (owner[j] != shard for some owned row i with an edge j -> i). This is the
+// set of boundary rows a shard would have to fetch per FCG hop if shards
+// exchanged raw neighbour features; the serving fleet reports it through
+// the serve.shard.halo_rows counter so cut quality is observable per slot.
+// `owner` maps station id -> shard id and must cover pattern's columns.
+int64_t CountHaloRows(const tensor::Csr& pattern,
+                      const std::vector<int>& owner, int shard);
 
 // The pattern correlation graph (paper Definition 3) is fully dense: every
 // pair of stations gets an attention-derived weight, recomputed inside each

@@ -30,6 +30,11 @@ class FcgBranch : public nn::Module {
   autograd::Variable Forward(const autograd::Variable& features,
                              const FlowConvolutedGraph& graph) const;
 
+  Aggregator aggregator() const { return aggregator_; }
+  float sparse_density_threshold() const { return sparse_density_threshold_; }
+  int num_flow_layers() const { return static_cast<int>(flow_layers_.size()); }
+  const FlowGnnLayer& flow_layer(int i) const { return *flow_layers_[i]; }
+
  private:
   Aggregator aggregator_;
   float sparse_density_threshold_;
@@ -52,6 +57,14 @@ class PcgBranch : public nn::Module {
   // Per-head attention of the *first* attention layer from the most recent
   // Forward; empty for non-attention aggregators. Used by the case study.
   std::vector<tensor::Tensor> FirstLayerAttention() const;
+
+  Aggregator aggregator() const { return aggregator_; }
+  int num_attention_layers() const {
+    return static_cast<int>(attention_layers_.size());
+  }
+  const AttentionGnnLayer& attention_layer(int i) const {
+    return *attention_layers_[i];
+  }
 
  private:
   int feature_dim_;
@@ -125,6 +138,17 @@ class StgnnDjdModel : public nn::Module {
   std::vector<tensor::Tensor> LastPcgAttention() const;
 
   int num_stations() const { return num_stations_; }
+  const StgnnConfig& config() const { return config_; }
+
+  // Component access for the sharded staged forward (core/sharded_forward),
+  // which replays row subsets of stages 2-4 against the same parameter
+  // Variables. Null when the matching ablation disables the component.
+  const FlowConvolution* flow_convolution() const {
+    return flow_convolution_.get();
+  }
+  const FcgBranch* fcg_branch() const { return fcg_branch_.get(); }
+  const PcgBranch* pcg_branch() const { return pcg_branch_.get(); }
+  const nn::Linear& output_layer() const { return *output_layer_; }
 
  private:
   // Stage 2 with the autograd graph attached (training path).

@@ -136,6 +136,20 @@ CityConfig CityConfig::Tiny() {
   return config;
 }
 
+CityConfig CityConfig::ServingScale(int num_stations) {
+  CityConfig config;
+  config.num_districts = num_stations >= 4096 ? 64 : 32;
+  STGNN_CHECK_EQ(num_stations % config.num_districts, 0)
+      << "ServingScale station count must divide into its district grid";
+  config.name = "serve-scale-" + std::to_string(num_stations);
+  config.stations_per_district = num_stations / config.num_districts;
+  config.slot_minutes = 120;
+  config.num_days = 2;
+  config.mean_daily_departures_per_station = 40.0;
+  config.seed = 11;
+  return config;
+}
+
 CitySimulator::CitySimulator(CityConfig config) : config_(std::move(config)) {
   STGNN_CHECK_GT(config_.num_districts, 0);
   STGNN_CHECK_GT(config_.stations_per_district, 0);

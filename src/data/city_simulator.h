@@ -58,6 +58,11 @@ struct CityConfig {
   static CityConfig LaLike();
   // A tiny configuration for unit tests and the quickstart example.
   static CityConfig Tiny();
+  // Large serving fixtures for the sharded benchmarks: a 32x32 district
+  // grid at n = 1024 and a 64x64 grid at n = 4096, two-hour slots over two
+  // days (just enough history for a k=8, d=1 serving window at a bench-
+  // friendly generation cost). num_stations must divide evenly.
+  static CityConfig ServingScale(int num_stations);
 };
 
 // Generates a synthetic bike-sharing city: station placement in districts,

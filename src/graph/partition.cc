@@ -1,0 +1,38 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stgnn::graph {
+
+Partition PartitionStations(int num_districts, int stations_per_district,
+                            int num_shards) {
+  assert(num_districts > 0 && stations_per_district > 0 && num_shards > 0);
+  const int k = std::max(1, std::min(num_shards, num_districts));
+  Partition p;
+  p.num_stations = num_districts * stations_per_district;
+  p.num_shards = k;
+  p.owner.assign(p.num_stations, 0);
+  p.owned.assign(k, {});
+
+  // Greedy balance over whole districts: district d -> lightest shard so
+  // far (lowest id on ties). With equal-sized districts this is round-robin
+  // in district order, which also keeps each shard's stations in ascending
+  // contiguous runs without an explicit sort.
+  std::vector<int> load(k, 0);
+  for (int d = 0; d < num_districts; ++d) {
+    int best = 0;
+    for (int s = 1; s < k; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    load[best] += stations_per_district;
+    const int lo = d * stations_per_district;
+    for (int i = 0; i < stations_per_district; ++i) {
+      p.owner[lo + i] = best;
+      p.owned[best].push_back(lo + i);
+    }
+  }
+  return p;
+}
+
+}  // namespace stgnn::graph

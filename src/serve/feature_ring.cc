@@ -13,7 +13,8 @@ namespace stgnn::serve {
 using tensor::Tensor;
 
 FeatureRing::FeatureRing(int num_stations, int short_term_slots,
-                         int long_term_days, int slots_per_day, float scale)
+                         int long_term_days, int slots_per_day, float scale,
+                         std::vector<int> owned_rows)
     : num_stations_(num_stations),
       k_(short_term_slots),
       d_(long_term_days),
@@ -21,11 +22,20 @@ FeatureRing::FeatureRing(int num_stations, int short_term_slots,
       window_(std::max(k_, d_ * slots_per_day_)),
       capacity_(window_ + 2),
       scale_(scale),
-      row_size_(static_cast<size_t>(num_stations) * num_stations) {
+      owned_(std::move(owned_rows)),
+      row_size_(static_cast<size_t>(owned_.empty()
+                                        ? num_stations
+                                        : static_cast<int>(owned_.size())) *
+                num_stations) {
   STGNN_CHECK_GT(num_stations_, 0);
   STGNN_CHECK_GE(k_, 1);
   STGNN_CHECK_GE(d_, 0);
   STGNN_CHECK_GE(slots_per_day_, 1);
+  for (size_t r = 0; r < owned_.size(); ++r) {
+    STGNN_CHECK(owned_[r] >= 0 && owned_[r] < num_stations_);
+    STGNN_CHECK(r == 0 || owned_[r] > owned_[r - 1])
+        << "owned_rows must be ascending";
+  }
   in_rows_.resize(static_cast<size_t>(capacity_) * row_size_);
   out_rows_.resize(static_cast<size_t>(capacity_) * row_size_);
 }
@@ -83,8 +93,21 @@ Status FeatureRing::Push(int slot, const Tensor& inflow,
   float* out_cell = out_rows_.data() + CellOffset(slot);
   const float* in_src = inflow.data().data();
   const float* out_src = outflow.data().data();
-  for (size_t i = 0; i < row_size_; ++i) in_cell[i] = in_src[i] * scale_;
-  for (size_t i = 0; i < row_size_; ++i) out_cell[i] = out_src[i] * scale_;
+  if (owned_.empty()) {
+    for (size_t i = 0; i < row_size_; ++i) in_cell[i] = in_src[i] * scale_;
+    for (size_t i = 0; i < row_size_; ++i) out_cell[i] = out_src[i] * scale_;
+  } else {
+    // Sharded mode: store only the owned station rows (same per-element
+    // multiply, so the kept values are bitwise those of a full ring).
+    for (size_t r = 0; r < owned_.size(); ++r) {
+      const size_t src = static_cast<size_t>(owned_[r]) * n;
+      const size_t dst = r * n;
+      for (int j = 0; j < n; ++j) in_cell[dst + j] = in_src[src + j] * scale_;
+      for (int j = 0; j < n; ++j) {
+        out_cell[dst + j] = out_src[src + j] * scale_;
+      }
+    }
+  }
 
   // Phase 2 (commit): publish the slot and notify the listener inside the
   // same critical section, so no reader can see the new frontier before the
@@ -163,8 +186,7 @@ Result<data::StHistory> FeatureRing::History(int t) const {
         ", which an in-flight ingest is overwriting (assembly would "
         "straddle the invalidation)");
   }
-  const int n = num_stations_;
-  const int row_elems = n * n;
+  const int row_elems = static_cast<int>(row_size_);
   data::StHistory history;
   // Every element is overwritten by the memcpys below.
   history.inflow_short = Tensor::Uninitialized({k_, row_elems});

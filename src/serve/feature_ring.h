@@ -54,10 +54,25 @@ class FeatureRing {
  public:
   // `scale` is the model's input scale (input_scale_multiplier /
   // max_train_flow); rows are stored pre-scaled.
+  //
+  // `owned_rows` selects the sharded mode: when non-empty, Push still takes
+  // the full [n, n] matrices (every shard sees the same ingest stream) but
+  // only the listed station rows are stored, and History() returns
+  // [c, o*n] tensors whose r-th row block is station owned_rows[r]. The
+  // per-element scaled copy is unchanged, so the stored values are
+  // bit-identical to the matching rows of an unsharded ring — the fleet's
+  // total ring memory equals one unsharded ring's. Empty = own all rows.
   FeatureRing(int num_stations, int short_term_slots, int long_term_days,
-              int slots_per_day, float scale);
+              int slots_per_day, float scale,
+              std::vector<int> owned_rows = {});
 
   int num_stations() const { return num_stations_; }
+  // Station ids stored by this ring, ascending; empty means all.
+  const std::vector<int>& owned_rows() const { return owned_; }
+  // Rows stored per slot: owned_rows().size(), or num_stations() when all.
+  int num_owned() const {
+    return owned_.empty() ? num_stations_ : static_cast<int>(owned_.size());
+  }
   int short_term_slots() const { return k_; }
   int long_term_days() const { return d_; }
   int slots_per_day() const { return slots_per_day_; }
@@ -127,7 +142,8 @@ class FeatureRing {
   const int window_;    // max(k, d * slots_per_day)
   const int capacity_;  // window_ + 2
   const float scale_;
-  const size_t row_size_;  // n * n
+  const std::vector<int> owned_;  // empty = all rows
+  const size_t row_size_;         // num_owned() * n
 
   mutable std::mutex mu_;
   int next_slot_ = 0;  // slots [next_slot_ - stored_, next_slot_) retained

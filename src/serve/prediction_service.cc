@@ -1,5 +1,6 @@
 #include "serve/prediction_service.h"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -13,21 +14,29 @@ using tensor::Tensor;
 PredictionService::PredictionService(ModelRegistry* registry,
                                      FeatureRing* ring,
                                      ServiceOptions options)
-    : registry_(registry), ring_(ring), options_(options) {
-  STGNN_CHECK(registry_ != nullptr);
-  STGNN_CHECK(ring_ != nullptr);
+    : owned_engine_(std::make_unique<LocalEngine>(registry, ring)),
+      engine_(owned_engine_.get()),
+      options_(options) {
   STGNN_CHECK_GE(options_.num_workers, 1);
   STGNN_CHECK_GE(options_.max_batch, 1);
   STGNN_CHECK_GE(options_.max_queue, 1);
   stats_.batch_size_counts.assign(options_.max_batch + 1, 0);
-  ring_->SetListener(&cache_);
+}
+
+PredictionService::PredictionService(InferenceEngine* engine,
+                                     ServiceOptions options)
+    : engine_(engine), options_(options) {
+  STGNN_CHECK(engine_ != nullptr);
+  STGNN_CHECK_GE(options_.num_workers, 1);
+  STGNN_CHECK_GE(options_.max_batch, 1);
+  STGNN_CHECK_GE(options_.max_queue, 1);
+  stats_.batch_size_counts.assign(options_.max_batch + 1, 0);
 }
 
 PredictionService::~PredictionService() {
   Stop();
-  // After Stop() no worker touches the cache; deregistering under the
-  // ring's mutex also synchronises with any in-flight Push notification.
-  ring_->SetListener(nullptr);
+  // The owned LocalEngine (if any) is destroyed after the workers are
+  // joined; its destructor deregisters from the ring under the ring mutex.
 }
 
 void PredictionService::Start() {
@@ -97,7 +106,10 @@ std::future<PredictResponse> PredictionService::SubmitAsync(
     Respond(&entry, std::move(response));
     return future;
   }
-  cv_.notify_one();
+  // With lingering workers, a notify_one can land on a worker whose
+  // fill-predicate is still false; wake everyone so an idle worker can
+  // always pick the queue up.
+  options_.batch_linger_us > 0 ? cv_.notify_all() : cv_.notify_one();
   return future;
 }
 
@@ -118,11 +130,24 @@ void PredictionService::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
+      if (options_.batch_linger_us > 0 &&
+          static_cast<int>(queue_.size()) < options_.max_batch) {
+        cv_.wait_for(lock, std::chrono::microseconds(options_.batch_linger_us),
+                     [this] {
+                       return stop_ || static_cast<int>(queue_.size()) >=
+                                           options_.max_batch;
+                     });
+        // Another worker may have drained the queue while we lingered.
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+      }
       // Coalesce the longest front run of requests that resolve to the
       // same slot (FIFO order, so no request can be starved by batching).
       // "Latest" requests resolve against one frontier read per batch, so
       // every latest-request in the batch targets the same slot.
-      const int frontier = ring_->next_slot();
+      const int frontier = engine_->next_slot();
       auto resolve = [frontier](const Entry& e) {
         return e.request.slot == PredictRequest::kLatestSlot ? frontier
                                                              : e.request.slot;
@@ -187,105 +212,31 @@ void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
     }
   };
 
-  const std::shared_ptr<const ModelSnapshot> snapshot = registry_->Current();
-  if (snapshot == nullptr) {
-    fail_all(Status::FailedPrecondition("no model published"));
+  // The engine turns the slot into the full prediction rows for every
+  // station it serves; one execution serves the whole micro-batch.
+  Result<EngineOutput> executed = engine_->Execute(slot);
+  if (!executed.ok()) {
+    fail_all(executed.status());
     return;
   }
-  if (snapshot->model->num_stations() != ring_->num_stations() ||
-      snapshot->config.short_term_slots != ring_->short_term_slots() ||
-      snapshot->config.long_term_days != ring_->long_term_days()) {
-    fail_all(Status::FailedPrecondition(
-        "published model window (n=" +
-        std::to_string(snapshot->model->num_stations()) +
-        ", k=" + std::to_string(snapshot->config.short_term_slots) +
-        ", d=" + std::to_string(snapshot->config.long_term_days) +
-        ") does not match the feature ring (n=" +
-        std::to_string(ring_->num_stations()) +
-        ", k=" + std::to_string(ring_->short_term_slots()) +
-        ", d=" + std::to_string(ring_->long_term_days()) + ")"));
-    return;
+  const Tensor& full = (*executed).rows;
+  const uint64_t version = (*executed).model_version;
+  if ((*executed).assembled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.assemblies;
   }
-
-  // When the snapshot carries quantized weights, every execution section
-  // below (cold prefix and head alike) runs under the scope, so cached and
-  // cold serving paths see the same weight representation.
-  autograd::QuantizedInferenceScope quant_scope(snapshot->quantized.get());
-  if (snapshot->quantized != nullptr) {
-    STGNN_COUNTER_INC("serve.quantized_batches");
-  }
-
-  // One forward serves the whole micro-batch. Denormalize inside the
-  // execution section keeps the op order identical to the direct
-  // StgnnDjdPredictor::PredictHorizon path (Forward -> Denormalize ->
-  // Relu), so served rows are bitwise equal to the offline path.
-  //
-  // With the snapshot's serve_cache on, the cold prefix (window assembly,
-  // embeddings, FCG) is memoised per (slot, version) and repeat batches
-  // replay only the head; the staged ops are the same ops Forward runs, so
-  // both paths produce bitwise-equal rows.
-  Tensor full;
-  const uint64_t version = snapshot->version;
-  if (snapshot->config.serve_cache) {
-    std::shared_ptr<const SlotCacheEntry> cached = cache_.Lookup(slot, version);
-    if (cached == nullptr) {
-      Result<data::StHistory> history = ring_->History(slot);
-      if (!history.ok()) {
-        fail_all(history.status());
-        return;
-      }
-      auto fresh = std::make_shared<SlotCacheEntry>();
-      fresh->slot = slot;
-      fresh->model_version = version;
-      fresh->history = std::move(*history);
-      {
-        std::lock_guard<std::mutex> exec_lock(exec_mu_);
-        fresh->embeddings = snapshot->model->ComputeEmbeddings(fresh->history);
-        if (snapshot->model->uses_fcg()) {
-          fresh->graph = snapshot->model->BuildGraph(fresh->embeddings);
-          fresh->has_graph = true;
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.assemblies;
-      }
-      // May be refused if the ring overwrote the slot meanwhile; this
-      // batch still serves from the local copy.
-      cache_.Insert(fresh);
-      cached = std::move(fresh);
-    }
-    STGNN_TRACE_SCOPE("Serve.Forward");
-    std::lock_guard<std::mutex> exec_lock(exec_mu_);
-    const Tensor out = snapshot->model->ForwardFromStages(
-        cached->embeddings, cached->has_graph ? &cached->graph : nullptr);
-    full = snapshot->normalizer.Denormalize(out);
-  } else {
-    Result<data::StHistory> history = ring_->History(slot);
-    if (!history.ok()) {
-      fail_all(history.status());
-      return;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.assemblies;
-    }
-    STGNN_TRACE_SCOPE("Serve.Forward");
-    std::lock_guard<std::mutex> exec_lock(exec_mu_);
-    const autograd::Variable out =
-        snapshot->model->Forward(*history, /*training=*/false, nullptr);
-    full = snapshot->normalizer.Denormalize(out.value());
-  }
-  full = tensor::Relu(full);
 
   STGNN_COUNTER_INC("serve.batches");
   STGNN_COUNTER_ADD("serve.batched_requests", live.size());
   const int batch_size = static_cast<int>(live.size());
-  const int n = full.dim(0);
+  const int n = engine_->num_stations();
+  const int engine_rows = full.dim(0);
   const int cols = full.dim(1);
 
   // Validate every request's station list up front so the stats can be
-  // published before any promise is fulfilled.
+  // published before any promise is fulfilled. A station outside [0, n) is
+  // a malformed request; a valid station this engine does not serve (a
+  // shard engine asked for a remote row) is a routing error.
   std::vector<Status> verdicts(live.size());
   int64_t served = 0;
   int64_t failed = 0;
@@ -295,6 +246,11 @@ void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
         verdicts[i] = Status::InvalidArgument(
             "station index " + std::to_string(s) + " outside [0, " +
             std::to_string(n) + ")");
+        break;
+      }
+      if (engine_->row_of(s) < 0) {
+        verdicts[i] = Status::InvalidArgument(
+            "station " + std::to_string(s) + " not served by this engine");
         break;
       }
     }
@@ -320,10 +276,11 @@ void PredictionService::ServeBatch(int slot, std::vector<Entry> batch) {
       continue;
     }
     const std::vector<int>& stations = entry.request.stations;
-    const int rows = stations.empty() ? n : static_cast<int>(stations.size());
+    const int rows =
+        stations.empty() ? engine_rows : static_cast<int>(stations.size());
     Tensor out = Tensor::Uninitialized({rows, cols});
     for (int r = 0; r < rows; ++r) {
-      const int src = stations.empty() ? r : stations[r];
+      const int src = stations.empty() ? r : engine_->row_of(stations[r]);
       for (int c = 0; c < cols; ++c) out.at(r, c) = full.at(src, c);
     }
     PredictResponse response;

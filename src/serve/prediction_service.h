@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "serve/engine.h"
 #include "serve/feature_ring.h"
 #include "serve/histogram.h"
 #include "serve/model_registry.h"
@@ -68,6 +70,14 @@ struct ServiceOptions {
   int max_batch = 16;
   // Bound on queued requests; submits beyond it are rejected immediately.
   int max_queue = 256;
+  // Dequeue linger: when a worker would start a batch smaller than
+  // max_batch, wait up to this long for the queue to fill before
+  // coalescing. 0 (default) dequeues immediately — the original behavior.
+  // At saturation with many submitter threads racing the workers, a few
+  // milliseconds of linger trades bounded extra queueing latency for
+  // consistently full batches (one engine execution serves the whole
+  // batch, so fuller batches are strictly higher throughput).
+  int64_t batch_linger_us = 0;
 };
 
 // Counts since construction. batch_size_counts[b] = number of micro-
@@ -87,36 +97,39 @@ struct ServiceStats {
   std::vector<int64_t> batch_size_counts;
 };
 
-// In-process micro-batching inference service over a FeatureRing and a
-// ModelRegistry (both owned by the caller; the model registry may be
-// shared with a trainer that publishes fresh checkpoints).
+// In-process micro-batching inference service over an InferenceEngine.
 //
 // Request path: SubmitAsync bounds-checks the queue (admission control)
 // and enqueues; a worker drains up to max_batch queued requests that
-// resolve to the same slot, sheds any whose deadline has passed, assembles
-// the slot's history from the ring once, runs one StgnnDjdModel::Forward
-// under the live snapshot, and slices each caller's station rows out of
-// the shared [n, 2*horizon] output. Batching therefore amortises the whole
-// network forward across every query for the slot, and the per-request
-// work is O(stations requested).
+// resolve to the same slot, sheds any whose deadline has passed, runs one
+// engine execution for the slot, and slices each caller's station rows out
+// of the shared [rows, 2*horizon] output. Batching therefore amortises the
+// whole network forward across every query for the slot, and the
+// per-request work is O(stations requested).
 //
 // Every response is accounted exactly once: served, shed (queue_full /
 // deadline), or failed with a typed status — Stop() drains the queue
 // before the workers exit, so no request is ever silently dropped.
 //
-// Slot cache: when the live snapshot's config has serve_cache set (the
-// default; STGNN_SERVE_CACHE=0 flips it), the service memoises the cold
-// prefix — assembled window, flow-convolution embeddings, FCG pattern +
-// weights — per (slot, snapshot version) in a SlotCache registered as the
-// ring's advance listener, and replays only ForwardFromStages for repeat
-// batches on the same slot. Cached and cold paths are bit-identical
-// (pinned by tests/serve_cache_test.cc), so the knob is purely about
-// latency. The service registers itself as the ring's listener: at most
-// one PredictionService per FeatureRing.
+// Engines: the two-argument constructor wraps the given (registry, ring)
+// in an owned LocalEngine — the unsharded single-process service, whose
+// slot cache memoises the cold prefix per (slot, snapshot version) when
+// the live snapshot's config has serve_cache set (the default;
+// STGNN_SERVE_CACHE=0 flips it); cached and cold paths are bit-identical
+// (pinned by tests/serve_cache_test.cc). The engine constructor serves any
+// InferenceEngine — the sharded fleet runs one service per ShardEngine, so
+// each shard keeps its own queue, batching, and shedding. Requests naming
+// stations the engine does not serve fail typed; empty-station requests
+// return the engine's rows in engine-row order (all stations for a local
+// engine, the owned rows for a shard).
 class PredictionService {
  public:
+  // Convenience: builds and owns a LocalEngine over (registry, ring). At
+  // most one LocalEngine (and therefore one such service) per FeatureRing.
   PredictionService(ModelRegistry* registry, FeatureRing* ring,
                     ServiceOptions options);
+  // Serves a caller-owned engine (must outlive the service).
+  PredictionService(InferenceEngine* engine, ServiceOptions options);
   ~PredictionService();  // Stop()s if still running
 
   PredictionService(const PredictionService&) = delete;
@@ -141,9 +154,10 @@ class PredictionService {
   ServiceStats stats() const;
   const LatencyHistogram& latency_histogram() const { return latency_; }
   const ServiceOptions& options() const { return options_; }
-  // Hit/miss/invalidation counts of the serving slot cache (zeros while
+  const InferenceEngine& engine() const { return *engine_; }
+  // Hit/miss/invalidation counts of the engine's slot cache (zeros while
   // the live snapshot has serve_cache off — the cache is never consulted).
-  const SlotCache::Stats& cache_stats() const { return cache_.stats(); }
+  const SlotCacheStats& cache_stats() const { return engine_->cache_stats(); }
 
  private:
   struct Entry {
@@ -157,13 +171,12 @@ class PredictionService {
   // Fills the bookkeeping fields and fulfils the promise.
   void Respond(Entry* entry, PredictResponse response);
 
-  ModelRegistry* const registry_;
-  FeatureRing* const ring_;
+  // Engine construction order matters: the owned LocalEngine (when used)
+  // registers with the ring before the workers exist and deregisters after
+  // they are joined.
+  std::unique_ptr<InferenceEngine> owned_engine_;
+  InferenceEngine* const engine_;
   const ServiceOptions options_;
-  // Memoised serving prefixes, invalidated via RingListener. Constructed
-  // before and destroyed after the workers; the destructor deregisters it
-  // from the ring before tearing anything down.
-  SlotCache cache_;
 
   mutable std::mutex mu_;  // guards queue_, stats_, stop_, workers started
   std::condition_variable cv_;
@@ -172,12 +185,6 @@ class PredictionService {
   bool started_ = false;
   std::vector<std::thread> workers_;
   ServiceStats stats_;
-
-  // Serialises model execution: the tensor kernels inside one Forward
-  // already use every pool thread, and the attention layers cache their
-  // last attention matrices, so concurrent Forwards on a shared snapshot
-  // would race for no throughput gain.
-  std::mutex exec_mu_;
 
   LatencyHistogram latency_;
 };

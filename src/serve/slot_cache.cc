@@ -1,92 +1,9 @@
 #include "serve/slot_cache.h"
 
-#include <algorithm>
-#include <utility>
-
-#include "common/check.h"
-#include "common/counters.h"
-#include "common/trace.h"
-
 namespace stgnn::serve {
 
-SlotCache::SlotCache(size_t capacity) : capacity_(capacity) {
-  STGNN_CHECK_GE(capacity_, 1u);
-  shelves_.reserve(capacity_);
-}
-
-std::shared_ptr<const SlotCacheEntry> SlotCache::Lookup(
-    int slot, uint64_t model_version) {
-  STGNN_TRACE_SCOPE("Serve.CacheLookup");
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Shelf& shelf : shelves_) {
-    if (shelf.entry->slot == slot &&
-        shelf.entry->model_version == model_version) {
-      shelf.lru_stamp = next_stamp_++;
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
-      STGNN_COUNTER_INC("serve.cache_hit");
-      return shelf.entry;
-    }
-  }
-  stats_.misses.fetch_add(1, std::memory_order_relaxed);
-  STGNN_COUNTER_INC("serve.cache_miss");
-  return nullptr;
-}
-
-void SlotCache::Insert(std::shared_ptr<const SlotCacheEntry> entry) {
-  STGNN_CHECK(entry != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entry->slot < min_servable_slot_) {
-    // The ring overwrote this slot's history while the cold path was
-    // assembling it. The batch that built the entry still serves correct
-    // values (its copies predate the overwrite), but publishing it could
-    // hand later batches a slot the ring itself would now refuse.
-    stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
-    STGNN_COUNTER_INC("serve.cache_invalidations");
-    return;
-  }
-  for (Shelf& shelf : shelves_) {
-    if (shelf.entry->slot == entry->slot &&
-        shelf.entry->model_version == entry->model_version) {
-      shelf.entry = std::move(entry);
-      shelf.lru_stamp = next_stamp_++;
-      return;
-    }
-  }
-  if (shelves_.size() < capacity_) {
-    shelves_.push_back(Shelf{next_stamp_++, std::move(entry)});
-    return;
-  }
-  auto victim = std::min_element(
-      shelves_.begin(), shelves_.end(), [](const Shelf& a, const Shelf& b) {
-        return a.lru_stamp < b.lru_stamp;
-      });
-  victim->entry = std::move(entry);
-  victim->lru_stamp = next_stamp_++;
-}
-
-void SlotCache::OnRingAdvance(int /*frontier*/, int min_servable_slot) {
-  std::lock_guard<std::mutex> lock(mu_);
-  min_servable_slot_ = std::max(min_servable_slot_, min_servable_slot);
-  size_t kept = 0;
-  for (size_t i = 0; i < shelves_.size(); ++i) {
-    if (shelves_[i].entry->slot >= min_servable_slot_) {
-      shelves_[kept++] = std::move(shelves_[i]);
-    } else {
-      stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
-      STGNN_COUNTER_INC("serve.cache_invalidations");
-    }
-  }
-  shelves_.resize(kept);
-}
-
-void SlotCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  shelves_.clear();
-}
-
-size_t SlotCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return shelves_.size();
-}
+// The staged-forward instantiation used by every LocalEngine; other entry
+// payloads (the shard engine's slot contexts) instantiate implicitly.
+template class SlotCacheT<SlotCacheEntry>;
 
 }  // namespace stgnn::serve

@@ -1,12 +1,17 @@
 #ifndef STGNN_SERVE_SLOT_CACHE_H_
 #define STGNN_SERVE_SLOT_CACHE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "common/counters.h"
+#include "common/trace.h"
 #include "core/stgnn_djd.h"
 #include "data/window.h"
 #include "serve/feature_ring.h"
@@ -32,10 +37,25 @@ struct SlotCacheEntry {
   bool has_graph = false;
 };
 
-// Small LRU cache of SlotCacheEntry keyed by (slot, model_version), shared
-// by the PredictionService workers. Hot-swapping a model changes the
-// version and therefore misses naturally; ring advances invalidate entries
-// whose slot can no longer be served (their history rows were overwritten).
+// Monotonic counters, always compiled (unlike STGNN_COUNTER_*, which
+// vanishes under STGNN_ENABLE_TRACING=OFF) so tests can assert on them in
+// every build flavour. Shared by every SlotCacheT instantiation so engine
+// interfaces can expose one stats type regardless of the entry payload.
+struct SlotCacheStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  // Entries dropped because a ring advance overwrote their history, plus
+  // stale inserts refused for the same reason.
+  std::atomic<uint64_t> invalidations{0};
+};
+
+// Small LRU cache of EntryT keyed by (slot, model_version), shared by the
+// service workers of one engine. EntryT must expose `int slot` and
+// `uint64_t model_version` members; the local engine caches staged-forward
+// prefixes (SlotCacheEntry), the shard engine caches halo-exchange slot
+// contexts. Hot-swapping a model changes the version and therefore misses
+// naturally; ring advances invalidate entries whose slot can no longer be
+// served (their history rows were overwritten).
 //
 // Cached entries are value-immutable: a slot's flow matrices are ingested
 // exactly once, so an entry assembled from live rows stays bit-identical to
@@ -44,51 +64,124 @@ struct SlotCacheEntry {
 // the ring has already overwritten — the stale-insert guard below — and
 // from retaining dead entries.
 //
-// Thread-safe. Lock order: FeatureRing::mu_ -> SlotCache::mu_ (the ring
+// Thread-safe. Lock order: FeatureRing::mu_ -> SlotCacheT::mu_ (the ring
 // calls OnRingAdvance with its mutex held); the cache never calls into the
 // ring.
-class SlotCache : public RingListener {
+template <typename EntryT>
+class SlotCacheT : public RingListener {
  public:
-  // Monotonic counters, always compiled (unlike STGNN_COUNTER_*, which
-  // vanishes under STGNN_ENABLE_TRACING=OFF) so tests can assert on them
-  // in every build flavour.
-  struct Stats {
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> misses{0};
-    // Entries dropped because a ring advance overwrote their history, plus
-    // stale inserts refused for the same reason.
-    std::atomic<uint64_t> invalidations{0};
-  };
+  using Stats = SlotCacheStats;
 
   // `capacity` bounds retained entries; the serving steady state needs only
   // the frontier slot per live snapshot, so a handful suffices.
-  explicit SlotCache(size_t capacity = 4);
+  explicit SlotCacheT(size_t capacity = 4) : capacity_(capacity) {
+    STGNN_CHECK_GE(capacity_, 1u);
+    shelves_.reserve(capacity_);
+  }
 
   // The cached entry for (slot, model_version), or nullptr. Counts a hit
   // or a miss and bumps the entry's LRU stamp.
-  std::shared_ptr<const SlotCacheEntry> Lookup(int slot,
-                                               uint64_t model_version);
+  std::shared_ptr<const EntryT> Lookup(int slot, uint64_t model_version) {
+    STGNN_TRACE_SCOPE("Serve.CacheLookup");
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shelf& shelf : shelves_) {
+      if (shelf.entry->slot == slot &&
+          shelf.entry->model_version == model_version) {
+        shelf.lru_stamp = next_stamp_++;
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        STGNN_COUNTER_INC("serve.cache_hit");
+        return shelf.entry;
+      }
+    }
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    STGNN_COUNTER_INC("serve.cache_miss");
+    return nullptr;
+  }
+
+  // Stats-free Lookup: neither counts hit/miss nor touches LRU stamps.
+  // Used by coordinators probing "is this context already built?" without
+  // polluting the serving hit-rate the tests assert on.
+  std::shared_ptr<const EntryT> Peek(int slot, uint64_t model_version) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Shelf& shelf : shelves_) {
+      if (shelf.entry->slot == slot &&
+          shelf.entry->model_version == model_version) {
+        return shelf.entry;
+      }
+    }
+    return nullptr;
+  }
 
   // Publishes an entry, evicting the least-recently-used one if full and
   // replacing any existing entry with the same key. Refused (counted as an
   // invalidation) when the entry's slot has already fallen behind the
   // ring's servable range — a cold assembly that raced an overwrite.
-  void Insert(std::shared_ptr<const SlotCacheEntry> entry);
+  void Insert(std::shared_ptr<const EntryT> entry) {
+    STGNN_CHECK(entry != nullptr);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->slot < min_servable_slot_) {
+      // The ring overwrote this slot's history while the cold path was
+      // assembling it. The batch that built the entry still serves correct
+      // values (its copies predate the overwrite), but publishing it could
+      // hand later batches a slot the ring itself would now refuse.
+      stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+      STGNN_COUNTER_INC("serve.cache_invalidations");
+      return;
+    }
+    for (Shelf& shelf : shelves_) {
+      if (shelf.entry->slot == entry->slot &&
+          shelf.entry->model_version == entry->model_version) {
+        shelf.entry = std::move(entry);
+        shelf.lru_stamp = next_stamp_++;
+        return;
+      }
+    }
+    if (shelves_.size() < capacity_) {
+      shelves_.push_back(Shelf{next_stamp_++, std::move(entry)});
+      return;
+    }
+    auto victim = std::min_element(
+        shelves_.begin(), shelves_.end(), [](const Shelf& a, const Shelf& b) {
+          return a.lru_stamp < b.lru_stamp;
+        });
+    victim->entry = std::move(entry);
+    victim->lru_stamp = next_stamp_++;
+  }
 
   // RingListener: drops entries whose slot is no longer servable. Called
   // by FeatureRing::Push with the ring mutex held.
-  void OnRingAdvance(int frontier, int min_servable_slot) override;
+  void OnRingAdvance(int /*frontier*/, int min_servable_slot) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    min_servable_slot_ = std::max(min_servable_slot_, min_servable_slot);
+    size_t kept = 0;
+    for (size_t i = 0; i < shelves_.size(); ++i) {
+      if (shelves_[i].entry->slot >= min_servable_slot_) {
+        shelves_[kept++] = std::move(shelves_[i]);
+      } else {
+        stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+        STGNN_COUNTER_INC("serve.cache_invalidations");
+      }
+    }
+    shelves_.resize(kept);
+  }
 
   // Drops everything (tests; not needed for hot-swap, which re-keys).
-  void Clear();
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    shelves_.clear();
+  }
 
   const Stats& stats() const { return stats_; }
-  size_t size() const;
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shelves_.size();
+  }
 
  private:
   struct Shelf {
     uint64_t lru_stamp = 0;
-    std::shared_ptr<const SlotCacheEntry> entry;
+    std::shared_ptr<const EntryT> entry;
   };
 
   const size_t capacity_;
@@ -98,6 +191,10 @@ class SlotCache : public RingListener {
   std::vector<Shelf> shelves_;
   Stats stats_;
 };
+
+using SlotCache = SlotCacheT<SlotCacheEntry>;
+
+extern template class SlotCacheT<SlotCacheEntry>;
 
 }  // namespace stgnn::serve
 

@@ -5,6 +5,8 @@ namespace stgnn::tensor::kernels {
 const KernelTable& TableFor(common::Isa isa) {
 #if defined(__x86_64__) || defined(_M_X64)
   switch (isa) {
+    case common::Isa::kAvx512Vnni:
+      return Avx512VnniKernels();
     case common::Isa::kAvx512:
       return Avx512Kernels();
     case common::Isa::kAvx2:

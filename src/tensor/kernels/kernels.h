@@ -128,6 +128,12 @@ const KernelTable& ScalarKernels();
 #if defined(__x86_64__) || defined(_M_X64)
 const KernelTable& Avx2Kernels();
 const KernelTable& Avx512Kernels();
+// AVX-512 VNNI tier: identical fp32 kernels, but the int8 GEMM uses
+// vpdpbusd (one instruction per 64 MACs vs. the 3-instruction maddubs
+// sequence). Exact int32 accumulation either way, so bits never change.
+// Falls back to the plain AVX-512 table when the compiler cannot target
+// VNNI (the dispatcher never selects it on hosts that lack the feature).
+const KernelTable& Avx512VnniKernels();
 #endif
 
 // Table for `isa`, clamped to what this build provides (non-x86 builds

@@ -44,6 +44,9 @@ std::vector<common::Isa> AvailableIsas() {
   if (common::IsaSupported(common::Isa::kAvx512)) {
     isas.push_back(common::Isa::kAvx512);
   }
+  if (common::IsaSupported(common::Isa::kAvx512Vnni)) {
+    isas.push_back(common::Isa::kAvx512Vnni);
+  }
   return isas;
 }
 
@@ -228,6 +231,77 @@ TEST(SimdKernels, QuantizedGemmBitwiseParityAcrossIsas) {
           << common::IsaName(isa) << " shape " << s.m << "x" << s.k << "x"
           << s.n;
     }
+  }
+}
+
+// The VNNI tier is the AVX-512 table with only the int8 GEMM swapped for
+// the vpdpbusd kernel; the fp32 entries must be the *same function
+// pointers* so the fp32 parity argument transfers verbatim. Checkable on
+// any x86 build — constructing the table does not execute VNNI code.
+TEST(SimdKernels, VnniTableSharesFp32KernelsWithAvx512) {
+#if defined(__x86_64__) || defined(_M_X64)
+  const tensor::kernels::KernelTable& vnni =
+      tensor::kernels::Avx512VnniKernels();
+  const tensor::kernels::KernelTable& avx512 =
+      tensor::kernels::Avx512Kernels();
+  EXPECT_EQ(vnni.matmul_small, avx512.matmul_small);
+  EXPECT_EQ(vnni.matmul_panel_rows, avx512.matmul_panel_rows);
+  EXPECT_EQ(vnni.spmm_rows, avx512.spmm_rows);
+  EXPECT_EQ(vnni.adam_step, avx512.adam_step);
+  EXPECT_EQ(vnni.quantize_act_rows, avx512.quantize_act_rows);
+  EXPECT_EQ(vnni.mm_small_flops, avx512.mm_small_flops);
+  EXPECT_EQ(vnni.mm_chunk_flops, avx512.mm_chunk_flops);
+  EXPECT_EQ(vnni.row_grain_ops, avx512.row_grain_ops);
+  // When the compiler could target VNNI the qgemm entry is the vpdpbusd
+  // kernel and the table self-identifies; otherwise the whole table
+  // degrades to an alias of the AVX-512 one. Both are legal builds.
+  if (vnni.isa == common::Isa::kAvx512Vnni) {
+    EXPECT_STREQ(vnni.name, "avx512vnni");
+    EXPECT_NE(vnni.qgemm_rows, avx512.qgemm_rows);
+  } else {
+    EXPECT_EQ(&vnni, &avx512);
+  }
+  EXPECT_EQ(&tensor::kernels::TableFor(common::Isa::kAvx512Vnni), &vnni);
+#else
+  GTEST_SKIP() << "non-x86 build carries only the scalar table";
+#endif
+}
+
+// STGNN_ISA-style clamping for the new tier, then — only on hosts that
+// actually have VNNI — a bitwise parity pin of the vpdpbusd qgemm against
+// the scalar exact-s32 reference. On non-VNNI hosts the parity half skips
+// cleanly after verifying the clamp.
+TEST(SimdKernels, VnniClampsAndMatchesScalarQgemmBitwise) {
+  DispatchGuard guard;
+  common::Isa parsed;
+  ASSERT_TRUE(common::ParseIsa("avx512vnni", &parsed));
+  EXPECT_EQ(parsed, common::Isa::kAvx512Vnni);
+  EXPECT_STREQ(common::IsaName(common::Isa::kAvx512Vnni), "avx512vnni");
+  const common::Isa installed = common::SetIsa(common::Isa::kAvx512Vnni);
+  if (!common::IsaSupported(common::Isa::kAvx512Vnni)) {
+    // Requests above the host's capability clamp to DetectBestIsa, exactly
+    // like STGNN_ISA=avx512 on an AVX2-only box.
+    EXPECT_EQ(installed, common::DetectBestIsa());
+    EXPECT_NE(installed, common::Isa::kAvx512Vnni);
+    GTEST_SKIP() << "host lacks AVX-512 VNNI; clamp verified, qgemm parity "
+                    "pinned on VNNI hosts";
+  }
+  EXPECT_EQ(installed, common::Isa::kAvx512Vnni);
+  // Shapes hit the 4-row/64-column register tile, the 16-wide strip tail,
+  // and the scalar column tail.
+  const struct {
+    int m, k, n;
+  } kShapes[] = {{3, 9, 11}, {17, 31, 67}, {8, 64, 64}, {5, 129, 130}};
+  for (const auto& s : kShapes) {
+    common::Rng rng(7000 + s.n);
+    const Tensor a = RandomTensor({s.m, s.k}, &rng);
+    const Tensor w = RandomTensor({s.k, s.n}, &rng);
+    const tensor::QuantizedTensor qw = tensor::QuantizeInt8(w);
+    common::SetIsa(common::Isa::kScalar);
+    const Tensor reference = tensor::QuantizedMatMul(a, qw);
+    common::SetIsa(common::Isa::kAvx512Vnni);
+    EXPECT_TRUE(BitsEqual(reference, tensor::QuantizedMatMul(a, qw)))
+        << "vnni shape " << s.m << "x" << s.k << "x" << s.n;
   }
 }
 

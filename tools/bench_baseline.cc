@@ -110,10 +110,19 @@ struct Measurement {
   double items;
 };
 
-void MeasureKernels(int threads, std::vector<Measurement>* out) {
+void MeasureKernels(int threads, bool large, std::vector<Measurement>* out) {
   common::SetNumThreads(threads);
   common::Rng rng(1);
-  for (int n : {24, 50, 128, 256, 512}) {
+  // --large extends the dense sweeps to the sharded-serving city sizes
+  // (n = 1024 and 4096, the ServingScale fixtures) so kernel cost at those
+  // scales is on record next to the serving numbers.
+  std::vector<int> matmul_sizes = {24, 50, 128, 256, 512};
+  std::vector<int> softmax_sizes = {50, 128, 256, 512};
+  if (large) {
+    matmul_sizes.insert(matmul_sizes.end(), {1024, 4096});
+    softmax_sizes.insert(softmax_sizes.end(), {1024, 4096});
+  }
+  for (int n : matmul_sizes) {
     const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
     const Tensor b = Tensor::RandomNormal({n, n}, 0, 1, &rng);
     volatile float sink = 0;
@@ -124,7 +133,7 @@ void MeasureKernels(int threads, std::vector<Measurement>* out) {
     out->push_back({"matmul_" + std::to_string(n), threads, ns,
                     static_cast<double>(n) * n * n});
   }
-  for (int n : {50, 128, 256, 512}) {
+  for (int n : softmax_sizes) {
     const Tensor a = Tensor::RandomNormal({n, n}, 0, 1, &rng);
     volatile float sink = 0;
     const double ns = TimeNs([&] {
@@ -372,7 +381,7 @@ int WriteE2eJson(const std::string& path,
 }
 
 int Run(const std::string& out_path, const std::string& e2e_path,
-        const std::string& trace_path, bool only_e2e) {
+        const std::string& trace_path, bool only_e2e, bool large) {
   std::vector<int> sweep = {1, 2, 4, common::HardwareThreads()};
   std::sort(sweep.begin(), sweep.end());
   sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
@@ -398,7 +407,7 @@ int Run(const std::string& out_path, const std::string& e2e_path,
   std::vector<Measurement> results;
   for (int threads : sweep) {
     std::fprintf(stderr, "measuring at %d thread(s)...\n", threads);
-    MeasureKernels(threads, &results);
+    MeasureKernels(threads, large, &results);
   }
 
   if (!trace_path.empty()) {
@@ -468,6 +477,7 @@ int main(int argc, char** argv) {
   std::string e2e_path = "BENCH_e2e.json";
   std::string trace_path;
   bool only_e2e = false;
+  bool large = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -479,12 +489,15 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--only-e2e") == 0) {
       only_e2e = true;
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      large = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_baseline [--out PATH] [--e2e-out PATH] "
-                   "[--min-seconds S] [--trace-out PATH] [--only-e2e]\n");
+                   "[--min-seconds S] [--trace-out PATH] [--only-e2e] "
+                   "[--large]\n");
       return 2;
     }
   }
-  return stgnn::Run(out_path, e2e_path, trace_path, only_e2e);
+  return stgnn::Run(out_path, e2e_path, trace_path, only_e2e, large);
 }

@@ -21,17 +21,32 @@
 // differ (the cached path must be bit-identical) or if the cache-on run's
 // hit rate falls below (batches - workers) / batches.
 //
+// --shards K1,K2,... adds the sharded sweep: per --shard-n size (default
+// the 1024/4096 ServingScale cities) it builds a ShardFleet + ShardRouter
+// per K and replays a deterministic cluster-local query mix (seven
+// single-district requests then one full-city request, repeating) against
+// every fleet AND against the unsharded service. All runs of one size must
+// produce the same order-independent prediction checksum — the sharded
+// stack is required to be bitwise invisible — and the tool exits non-zero
+// on any mismatch. The JSON gains a "shard_scaling" map of saturation
+// throughput relative to the K=1 fleet. In --smoke the sweep runs K in
+// {1, 4} against the n=16 city and the checksum gate doubles as the CI
+// cross-config diff.
+//
 // Usage: stgnn_serve [--n 128,256,512] [--workers W] [--max-batch B]
 //                    [--queue Q] [--requests R] [--qps QPS] [--out PATH]
+//                    [--shards K,...] [--shard-n N,...] [--shard-requests R]
 //                    [--smoke] [--print-counters]
 // Regenerate the tracked record from the repo root with:
-//   ./build/tools/stgnn_serve --out BENCH_serve.json
+//   ./build/tools/stgnn_serve --shards 1,2,4 --out BENCH_serve.json
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -47,9 +62,11 @@
 #include "core/stgnn_djd.h"
 #include "data/city_simulator.h"
 #include "data/flow_dataset.h"
+#include "graph/partition.h"
 #include "serve/feature_ring.h"
 #include "serve/model_registry.h"
 #include "serve/prediction_service.h"
+#include "serve/shard_router.h"
 
 namespace stgnn {
 namespace {
@@ -64,6 +81,11 @@ struct Options {
   std::string out = "BENCH_serve.json";
   bool smoke = false;
   bool print_counters = false;
+  // Sharded sweep: empty = skip. Each K gets its own fleet + router run
+  // over every shard-n size; 0 shard-requests picks a per-size default.
+  std::vector<int> shards;
+  std::vector<int> shard_sizes = {1024, 4096};
+  int shard_requests = 0;
 };
 
 struct RunResult {
@@ -86,6 +108,14 @@ struct RunResult {
   // Order-independent FNV-1a digest over every served (slot, prediction
   // bits) pair: cache-on and cache-off runs of the same load must agree.
   uint64_t checksum = 0;
+  // Sharded runs only: effective shard count (0 = unsharded service) and
+  // the router/halo tallies of the run.
+  int shards = 0;
+  int64_t fanouts = 0;
+  int64_t merges = 0;
+  int64_t version_rejects = 0;
+  int64_t retries = 0;
+  int64_t halo_rows = 0;
   int64_t batches = 0;
   int64_t assemblies = 0;
   uint64_t cache_hits = 0;
@@ -125,17 +155,25 @@ uint64_t ResponseDigest(const serve::PredictResponse& response) {
 struct Fixture {
   explicit Fixture(int n) {
     data::CityConfig city = data::CityConfig::Tiny();
-    if (n > 8) {
-      city.name = "serve-" + std::to_string(n);
-      city.num_districts = 16;
-      city.stations_per_district = n / 16;
-      STGNN_CHECK_EQ(city.num_districts * city.stations_per_district, n)
-          << "--n values must be multiples of 16";
+    if (n >= 1024) {
+      // The sharded-scale cities: 32x32 / 64x64 district grids at two-hour
+      // slots (the ServingScale presets the partition heuristic targets).
+      city = data::CityConfig::ServingScale(n);
+    } else {
+      if (n > 8) {
+        city.name = "serve-" + std::to_string(n);
+        city.num_districts = 16;
+        city.stations_per_district = n / 16;
+        STGNN_CHECK_EQ(city.num_districts * city.stations_per_district, n)
+            << "--n values must be multiples of 16";
+      }
+      // One-hour slots over two days: enough history for k=8 slots plus
+      // d=1 day at a load-test-friendly forward cost.
+      city.slot_minutes = 60;
+      city.num_days = 2;
     }
-    // One-hour slots over two days: enough history for k=8 slots plus
-    // d=1 day at a load-test-friendly forward cost.
-    city.slot_minutes = 60;
-    city.num_days = 2;
+    num_districts = city.num_districts;
+    stations_per_district = city.stations_per_district;
     data::TripDataset trips = data::CitySimulator(city).Generate();
     data::CleanseTrips(&trips);
     flow = std::make_unique<data::FlowDataset>(data::BuildFlowDataset(trips));
@@ -155,9 +193,12 @@ struct Fixture {
         flow->num_stations, config.short_term_slots, config.long_term_days,
         flow->slots_per_day, scale);
     // Warm the ring past the first predictable slot; requests then ask for
-    // "latest" like an online caller would.
-    const int frontier = ring->first_predictable_slot() + 6;
-    STGNN_CHECK_LT(frontier, flow->num_slots);
+    // "latest" like an online caller would. The two-hour ServingScale
+    // cities only have a couple of slots to spare past the window, hence
+    // the clamp.
+    frontier = std::min(ring->first_predictable_slot() + 6,
+                        flow->num_slots - 2);
+    STGNN_CHECK_GT(frontier, ring->first_predictable_slot());
     for (int t = 0; t < frontier; ++t) {
       const Status st = ring->Push(t, flow->inflow[t], flow->outflow[t]);
       STGNN_CHECK(st.ok()) << st.ToString();
@@ -178,7 +219,7 @@ struct Fixture {
   // config asks for a reduced inference precision (STGNN_INFER_PRECISION),
   // the snapshot carries quantized weights and the service serves through
   // the quantized path.
-  void Publish(bool serve_cache) {
+  serve::ModelSnapshot MakeSnapshot(bool serve_cache) const {
     core::StgnnConfig snapshot_config = config;
     snapshot_config.serve_cache = serve_cache;
     serve::ModelSnapshot snapshot(model, *normalizer, input_scale,
@@ -186,9 +227,32 @@ struct Fixture {
     if (config.infer_precision != tensor::Precision::kFp32) {
       serve::QuantizeSnapshot(&snapshot, config.infer_precision);
     }
-    registry.Publish(std::move(snapshot));
+    return snapshot;
   }
 
+  void Publish(bool serve_cache) { registry.Publish(MakeSnapshot(serve_cache)); }
+
+  // Replays the warmed slots into a fleet's shard rings (each keeps only
+  // its owned rows).
+  void WarmFleet(serve::ShardFleet* fleet) const {
+    for (int t = 0; t < frontier; ++t) {
+      const Status st = fleet->Push(t, flow->inflow[t], flow->outflow[t]);
+      STGNN_CHECK(st.ok()) << st.ToString();
+    }
+  }
+
+  // Frees the per-slot [n, n] flow matrices once every ring is warmed — at
+  // n = 4096 they are the bulk of the fixture's footprint.
+  void ReleaseFlow() {
+    flow->inflow.clear();
+    flow->inflow.shrink_to_fit();
+    flow->outflow.clear();
+    flow->outflow.shrink_to_fit();
+  }
+
+  int num_districts = 0;
+  int stations_per_district = 0;
+  int frontier = 0;
   std::unique_ptr<data::FlowDataset> flow;
   core::StgnnConfig config;
   std::unique_ptr<serve::FeatureRing> ring;
@@ -198,12 +262,33 @@ struct Fixture {
   float input_scale = 1.0f;
 };
 
+// The deterministic cluster-local query mix of the sharded sweep: seven
+// single-district requests (district hopping in a fixed pseudo-random
+// order) then one full-city request, repeating. District locality is what
+// the partitioner preserves, so most requests fan out to exactly one shard.
+serve::PredictRequest MixRequest(int i, const Fixture& fixture) {
+  serve::PredictRequest request;
+  if (i % 8 == 7) return request;  // full city
+  const int district = static_cast<int>(
+      (static_cast<uint64_t>(i) * 131) % fixture.num_districts);
+  const int per = fixture.stations_per_district;
+  request.stations.reserve(per);
+  for (int s = district * per; s < (district + 1) * per; ++s) {
+    request.stations.push_back(s);
+  }
+  return request;
+}
+
 // Drives `requests` kLatestSlot queries through a fresh service. qps > 0
 // paces submission open-loop; qps == 0 keeps a deep window of futures in
 // flight so the workers always find a full queue (saturation).
+// make_request (when set) supplies each request body — the sharded sweep
+// uses it to replay the same mix un- and sharded.
 RunResult Drive(const std::string& mode, Fixture* fixture,
                 const serve::ServiceOptions& service_options, int requests,
-                double qps, bool serve_cache) {
+                double qps, bool serve_cache,
+                const std::function<serve::PredictRequest(int)>& make_request =
+                    nullptr) {
   fixture->Publish(serve_cache);
   serve::PredictionService service(&fixture->registry, fixture->ring.get(),
                                    service_options);
@@ -240,7 +325,9 @@ RunResult Drive(const std::string& mode, Fixture* fixture,
                       std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(i / qps)));
     }
-    inflight.push_back(service.SubmitAsync({}));
+    inflight.push_back(
+        service.SubmitAsync(make_request ? make_request(i)
+                                         : serve::PredictRequest{}));
     while (static_cast<int>(inflight.size()) >= window) {
       account(inflight.front().get());
       inflight.pop_front();
@@ -288,6 +375,123 @@ RunResult Drive(const std::string& mode, Fixture* fixture,
   return result;
 }
 
+// Drives the cluster-local mix through a fleet's fan-out router,
+// closed-loop at saturation: every request is in flight at once. Each
+// router worker carries one fan-out end to end (it blocks on the
+// sub-futures), so the worker count IS the concurrency the shard services
+// see. A K-shard fleet's throughput ceiling is K * max_batch requests per
+// owned-row replay; offering less than K * max_batch concurrency starves
+// the per-shard queues, caps every K at the same small-batch rate, and
+// hides exactly the scaling the partition buys — so the offered load
+// scales with the fleet, not with a fixed constant.
+RunResult DriveFleet(Fixture* fixture, serve::ShardFleet* fleet,
+                     const Options& options, int requests) {
+  serve::RouterOptions router_options;
+  router_options.num_workers = std::min(requests, 256);
+  router_options.max_queue =
+      std::max(options.max_queue, 2 * router_options.num_workers);
+  serve::ShardRouter router(fleet, router_options);
+  fleet->Start();
+  router.Start();
+
+  // The halo-exchange build is once per (slot, version) and amortises over
+  // the slot's whole lifetime (slots are hours of wall-clock in
+  // production), so it stays outside the timed window: the sweep measures
+  // steady-state replay throughput, the build cost is reported separately
+  // through the Router.Halo span and serve.shard.halo_rows.
+  {
+    const Status warmed =
+        fleet->EnsureContext(fleet->next_slot(), fleet->current_version());
+    STGNN_CHECK(warmed.ok()) << warmed.ToString();
+  }
+
+  const int64_t halo_before =
+      common::counters::FindOrCreate("serve.shard.halo_rows")->value();
+  const int window = router_options.num_workers;
+  std::deque<std::future<serve::PredictResponse>> inflight;
+  int64_t shed = 0;
+  int64_t failed = 0;
+  uint64_t checksum = 0;
+  auto account = [&](serve::PredictResponse response) {
+    switch (response.kind) {
+      case serve::PredictResponse::Kind::kOk:
+        checksum += ResponseDigest(response);
+        break;
+      case serve::PredictResponse::Kind::kRejectedQueueFull:
+      case serve::PredictResponse::Kind::kRejectedDeadline:
+        ++shed;
+        break;
+      case serve::PredictResponse::Kind::kFailed:
+        ++failed;
+        std::fprintf(stderr, "  routed request failed: %s\n",
+                     response.status.ToString().c_str());
+        break;
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < requests; ++i) {
+    inflight.push_back(router.SubmitAsync(MixRequest(i, *fixture)));
+    while (static_cast<int>(inflight.size()) >= window) {
+      account(inflight.front().get());
+      inflight.pop_front();
+    }
+  }
+  while (!inflight.empty()) {
+    account(inflight.front().get());
+    inflight.pop_front();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  router.Stop();
+  fleet->Stop();
+
+  const serve::RouterStats router_stats = router.stats();
+  const serve::LatencyHistogram& hist = router.latency_histogram();
+  RunResult result;
+  result.mode = "shard_mix";
+  result.n = fixture->flow->num_stations;
+  result.workers = options.workers;
+  result.max_batch = options.max_batch;
+  result.requests = requests;
+  result.served = router_stats.served;
+  result.shed = shed;
+  result.failed = failed;
+  result.wall_s = wall_s;
+  result.throughput_rps = wall_s > 0.0 ? router_stats.served / wall_s : 0.0;
+  result.mean_us = hist.MeanNs() / 1e3;
+  result.p50_us = hist.PercentileNs(50) / 1e3;
+  result.p95_us = hist.PercentileNs(95) / 1e3;
+  result.p99_us = hist.PercentileNs(99) / 1e3;
+  result.checksum = checksum;
+  result.shards = fleet->num_shards();
+  result.fanouts = router_stats.fanouts;
+  result.merges = router_stats.merges;
+  result.version_rejects = router_stats.version_rejects;
+  result.retries = router_stats.retries;
+  result.halo_rows =
+      common::counters::FindOrCreate("serve.shard.halo_rows")->value() -
+      halo_before;
+  int64_t batches = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double mean_batch_num = 0.0;
+  for (int s = 0; s < fleet->num_shards(); ++s) {
+    const serve::ServiceStats shard_stats = fleet->service(s)->stats();
+    batches += shard_stats.batches;
+    mean_batch_num += static_cast<double>(shard_stats.served);
+    const serve::SlotCacheStats& cache = fleet->service(s)->cache_stats();
+    hits += cache.hits.load();
+    misses += cache.misses.load();
+  }
+  result.batches = batches;
+  result.mean_batch = batches > 0 ? mean_batch_num / batches : 0.0;
+  result.cache_hits = hits;
+  result.cache_misses = misses;
+  return result;
+}
+
 int WriteJson(const std::string& path, const Options& options,
               const std::vector<RunResult>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -296,7 +500,7 @@ int WriteJson(const std::string& path, const Options& options,
     return 1;
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v3\",\n");
+  std::fprintf(f, "  \"schema\": \"stgnn-bench-serve-v4\",\n");
   std::fprintf(f, "  \"hardware_threads\": %d,\n", common::HardwareThreads());
   std::fprintf(f, "  \"isa\": \"%s\",\n",
                common::IsaName(common::ActiveIsa()));
@@ -311,7 +515,7 @@ int WriteJson(const std::string& path, const Options& options,
     const RunResult& r = runs[i];
     std::fprintf(
         f,
-        "    {\"mode\": \"%s\", \"n\": %d, \"workers\": %d, "
+        "    {\"mode\": \"%s\", \"n\": %d, \"shards\": %d, \"workers\": %d, "
         "\"max_batch\": %d, \"requests\": %lld, \"served\": %lld, "
         "\"shed\": %lld, \"failed\": %lld, \"wall_s\": %.3f, "
         "\"throughput_rps\": %.2f, \"mean_batch_size\": %.2f,\n"
@@ -320,9 +524,8 @@ int WriteJson(const std::string& path, const Options& options,
         "     \"serve_cache\": %s, \"checksum\": \"%016llx\",\n"
         "     \"cache\": {\"hits\": %llu, \"misses\": %llu, "
         "\"invalidations\": %llu, \"assemblies\": %lld, "
-        "\"hit_rate\": %.3f},\n"
-        "     \"batch_size_counts\": [",
-        r.mode.c_str(), r.n, r.workers, r.max_batch,
+        "\"hit_rate\": %.3f},\n",
+        r.mode.c_str(), r.n, r.shards, r.workers, r.max_batch,
         static_cast<long long>(r.requests), static_cast<long long>(r.served),
         static_cast<long long>(r.shed), static_cast<long long>(r.failed),
         r.wall_s, r.throughput_rps, r.mean_batch, r.mean_us, r.p50_us,
@@ -332,6 +535,18 @@ int WriteJson(const std::string& path, const Options& options,
         static_cast<unsigned long long>(r.cache_misses),
         static_cast<unsigned long long>(r.cache_invalidations),
         static_cast<long long>(r.assemblies), r.hit_rate());
+    if (r.shards > 0) {
+      std::fprintf(f,
+                   "     \"router\": {\"fanouts\": %lld, \"merges\": %lld, "
+                   "\"version_rejects\": %lld, \"retries\": %lld, "
+                   "\"halo_rows\": %lld},\n",
+                   static_cast<long long>(r.fanouts),
+                   static_cast<long long>(r.merges),
+                   static_cast<long long>(r.version_rejects),
+                   static_cast<long long>(r.retries),
+                   static_cast<long long>(r.halo_rows));
+    }
+    std::fprintf(f, "     \"batch_size_counts\": [");
     for (size_t b = 0; b < r.batch_size_counts.size(); ++b) {
       std::fprintf(f, "%s%lld", b > 0 ? ", " : "",
                    static_cast<long long>(r.batch_size_counts[b]));
@@ -367,6 +582,27 @@ int WriteJson(const std::string& path, const Options& options,
         first = false;
       }
     }
+  }
+  std::fprintf(f, "},\n");
+  // Shard-scaling claim: K-shard aggregate saturation throughput on the
+  // cluster-local mix relative to the K=1 fleet of the same size.
+  std::fprintf(f, "  \"shard_scaling\": {");
+  first = true;
+  for (const RunResult& base : runs) {
+    if (base.mode != "shard_mix" || base.shards != 1 ||
+        base.throughput_rps <= 0.0) {
+      continue;
+    }
+    std::fprintf(f, "%s\"%d\": {", first ? "" : ", ", base.n);
+    first = false;
+    bool first_k = true;
+    for (const RunResult& r : runs) {
+      if (r.mode != "shard_mix" || r.n != base.n) continue;
+      std::fprintf(f, "%s\"%d\": %.2f", first_k ? "" : ", ", r.shards,
+                   r.throughput_rps / base.throughput_rps);
+      first_k = false;
+    }
+    std::fprintf(f, "}");
   }
   std::fprintf(f, "}\n}\n");
   std::fclose(f);
@@ -416,19 +652,108 @@ int Main(const Options& options) {
     }
   }
 
+  // Sharded sweep: per size, one fleet per K (all warmed before the flow
+  // matrices are released) plus the unsharded service, all replaying the
+  // same deterministic cluster-local mix.
+  for (int n : options.shards.empty() ? std::vector<int>{}
+                                      : options.shard_sizes) {
+    std::fprintf(stderr, "shard n=%d: generating city + warming rings...\n",
+                 n);
+    Fixture fixture(n);
+    serve::ServiceOptions batched;
+    batched.num_workers = options.workers;
+    batched.max_batch = options.max_batch;
+    batched.max_queue = options.max_queue;
+    // The scaling series compares batch-formation-sensitive throughputs
+    // across K, and hundreds of submitter threads race the service
+    // workers; a dequeue linger of a fraction of one owned-row replay
+    // (which takes >100 ms at these sizes) keeps batches consistently
+    // full so the series measures sharding, not scheduler jitter.
+    // Applied to the unsharded baseline and every fleet alike.
+    batched.batch_linger_us = 20000;
+    // Enough in-flight work to saturate the widest fleet's aggregate batch
+    // capacity (K * max_batch); n >= 4096 keeps a token count — at that
+    // size the sweep is a memory/parity check, not a scaling bench.
+    const int requests = options.shard_requests > 0 ? options.shard_requests
+                         : n >= 4096                ? 8
+                                                    : 512;
+
+    std::vector<std::unique_ptr<serve::ShardFleet>> fleets;
+    for (int k : options.shards) {
+      const graph::Partition partition = graph::PartitionStations(
+          fixture.num_districts, fixture.stations_per_district, k);
+      serve::ShardFleetOptions fleet_options;
+      fleet_options.service = batched;
+      auto fleet = std::make_unique<serve::ShardFleet>(
+          partition, fixture.config.short_term_slots,
+          fixture.config.long_term_days, fixture.flow->slots_per_day,
+          fixture.input_scale, fleet_options);
+      fixture.WarmFleet(fleet.get());
+      fleet->Publish(fixture.MakeSnapshot(/*serve_cache=*/true));
+      fleets.push_back(std::move(fleet));
+    }
+    fixture.ReleaseFlow();
+
+    std::fprintf(stderr, "shard n=%d: unsharded mix baseline (%d requests)...\n",
+                 n, requests);
+    runs.push_back(Drive("unsharded_mix", &fixture, batched, requests, 0.0,
+                         /*serve_cache=*/true,
+                         [&fixture](int i) { return MixRequest(i, fixture); }));
+    for (auto& fleet : fleets) {
+      std::fprintf(stderr, "shard n=%d: K=%d fleet mix (%d requests)...\n", n,
+                   fleet->num_shards(), requests);
+      runs.push_back(DriveFleet(&fixture, fleet.get(), options, requests));
+      fleet.reset();  // release this fleet's rings before the next run
+    }
+  }
+
   const int rc = WriteJson(options.out, options, runs);
   if (rc != 0) return rc;
 
   for (const RunResult& r : runs) {
     std::fprintf(stderr,
-                 "  %-10s n=%-4d cache=%s served=%-4lld shed=%-3lld "
+                 "  %-13s n=%-4d K=%d cache=%s served=%-4lld shed=%-3lld "
                  "throughput=%8.2f req/s mean_batch=%5.2f p50=%.0f us "
                  "p99=%.0f us checksum=%016llx\n",
-                 r.mode.c_str(), r.n, r.serve_cache ? "on " : "off",
+                 r.mode.c_str(), r.n, r.shards, r.serve_cache ? "on " : "off",
                  static_cast<long long>(r.served),
                  static_cast<long long>(r.shed), r.throughput_rps,
                  r.mean_batch, r.p50_us, r.p99_us,
                  static_cast<unsigned long long>(r.checksum));
+  }
+
+  // The sharded stack must be bitwise invisible. Every mix run of one size
+  // — unsharded service or any-K fleet — replayed the identical request
+  // sequence against the identical weights, so their order-independent
+  // checksums must agree exactly. This is the cross-config diff the CI
+  // smoke relies on; it holds for the full bench sweep too.
+  for (const RunResult& r : runs) {
+    if (r.mode != "shard_mix" && r.mode != "unsharded_mix") continue;
+    if (r.failed != 0 || r.shed != 0 || r.served != r.requests) {
+      std::fprintf(stderr,
+                   "shard sweep FAILED: %s n=%d K=%d served=%lld/%lld "
+                   "shed=%lld failed=%lld\n",
+                   r.mode.c_str(), r.n, r.shards,
+                   static_cast<long long>(r.served),
+                   static_cast<long long>(r.requests),
+                   static_cast<long long>(r.shed),
+                   static_cast<long long>(r.failed));
+      return 1;
+    }
+    std::printf("SHARD_CHECKSUM precision=%s n=%d shards=%d value=%016llx\n",
+                tensor::PrecisionName(core::DefaultInferPrecision()), r.n,
+                r.shards, static_cast<unsigned long long>(r.checksum));
+    for (const RunResult& base : runs) {
+      if (base.mode != "unsharded_mix" || base.n != r.n) continue;
+      if (r.checksum != base.checksum) {
+        std::fprintf(stderr,
+                     "shard sweep FAILED: n=%d K=%d checksum %016llx != "
+                     "unsharded %016llx\n",
+                     r.n, r.shards, static_cast<unsigned long long>(r.checksum),
+                     static_cast<unsigned long long>(base.checksum));
+        return 1;
+      }
+    }
   }
 
   if (options.print_counters) {
@@ -570,18 +895,36 @@ int main(int argc, char** argv) {
       options.requests = stgnn::common::ParseInt(next()).ValueOrDie();
     } else if (arg == "--qps") {
       options.qps = stgnn::common::ParseDouble(next()).ValueOrDie();
+    } else if (arg == "--shards") {
+      options.shards.clear();
+      for (const std::string& part : stgnn::common::Split(next(), ',')) {
+        options.shards.push_back(stgnn::common::ParseInt(part).ValueOrDie());
+      }
+    } else if (arg == "--shard-n") {
+      options.shard_sizes.clear();
+      for (const std::string& part : stgnn::common::Split(next(), ',')) {
+        options.shard_sizes.push_back(
+            stgnn::common::ParseInt(part).ValueOrDie());
+      }
+    } else if (arg == "--shard-requests") {
+      options.shard_requests = stgnn::common::ParseInt(next()).ValueOrDie();
     } else if (arg == "--out") {
       options.out = next();
     } else if (arg == "--print-counters") {
       options.print_counters = true;
     } else if (arg == "--smoke") {
       // Tiny city, gentle paced load, hard-fail on any shed: the CI
-      // liveness check for the serving path.
+      // liveness check for the serving path. The sharded sweep rides along
+      // at n=16 (16 one-station districts, so K=4 is a real four-way
+      // partition) and its checksum gate is the cross-config diff.
       options.smoke = true;
       options.sizes = {8};
       options.requests = 40;
       options.qps = 50.0;
       options.max_batch = 8;
+      options.shards = {1, 4};
+      options.shard_sizes = {16};
+      options.shard_requests = 40;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
