@@ -247,6 +247,12 @@ TripDataset CitySimulator::Generate() const {
     const double weekend_scale = weekend ? config_.weekend_activity_factor : 1.0;
     day_log_activity = 0.7 * day_log_activity +
                        rng.Normal(0.0, config_.daily_activity_sigma);
+    // The shock is a deliberate level shift, not noise: no variance
+    // correction, no extra random draws (disabled runs stay byte-equal).
+    const double shock_log =
+        (config_.shock_day >= 0 && day >= config_.shock_day)
+            ? config_.shock_log_activity
+            : 0.0;
     for (int i = 0; i < n; ++i) {
       log_pop_drift[i] += rng.Normal(0.0, config_.popularity_drift_sigma);
       popularity[i] = std::exp(log_pop_drift[i]) * base_popularity[i];
@@ -263,8 +269,9 @@ TripDataset CitySimulator::Generate() const {
                              config_.daily_activity_sigma / (1.0 - 0.49);
       const double block_var = config_.block_activity_sigma *
                                config_.block_activity_sigma / (1.0 - 0.36);
-      const double activity = std::exp(day_log_activity + block_log_activity -
-                                       0.5 * (day_var + block_var));
+      const double activity =
+          std::exp(day_log_activity + block_log_activity + shock_log -
+                   0.5 * (day_var + block_var));
       const int hour = slot * config_.slot_minutes / 60;
       // Destination attractiveness at this hour, shared by all origins.
       for (int j = 0; j < n; ++j) {

@@ -52,6 +52,15 @@ struct CityConfig {
   double block_activity_sigma = 0.35;
   // Per-day random-walk stddev of each station's log-popularity.
   double popularity_drift_sigma = 0.10;
+  // Structural non-stationarity shock for the online-learning drift
+  // benchmarks: from day `shock_day` (inclusive) the city-wide
+  // log-activity gains a persistent `shock_log_activity` offset — a step
+  // change in demand level (0.7 ≈ 2x trips) that a frozen model keeps
+  // mispredicting while an online-trained one adapts. -1 disables, and a
+  // disabled run draws the identical random stream, so every existing
+  // fixture stays byte-identical.
+  int shock_day = -1;
+  double shock_log_activity = 0.0;
   uint64_t seed = 20220713;
 
   static CityConfig ChicagoLike();

@@ -1,0 +1,30 @@
+#include "eval/rolling_metrics.h"
+
+#include "common/check.h"
+
+namespace stgnn::eval {
+
+RollingMetrics::RollingMetrics(int window) : window_(window) {
+  STGNN_CHECK_GT(window, 0);
+}
+
+void RollingMetrics::Add(double rmse, double mae) {
+  samples_.emplace_back(rmse, mae);
+  sum_rmse_ += rmse;
+  sum_mae_ += mae;
+  if (static_cast<int>(samples_.size()) > window_) {
+    sum_rmse_ -= samples_.front().first;
+    sum_mae_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+double RollingMetrics::mean_rmse() const {
+  return samples_.empty() ? 0.0 : sum_rmse_ / samples_.size();
+}
+
+double RollingMetrics::mean_mae() const {
+  return samples_.empty() ? 0.0 : sum_mae_ / samples_.size();
+}
+
+}  // namespace stgnn::eval

@@ -1,0 +1,33 @@
+#ifndef STGNN_EVAL_ROLLING_METRICS_H_
+#define STGNN_EVAL_ROLLING_METRICS_H_
+
+#include <deque>
+
+namespace stgnn::eval {
+
+// Rolling mean of per-slot (RMSE, MAE) samples over the most recent
+// `window` slots. The online trainer smooths its holdout gauge with this,
+// and the drift harness uses it for the recovery-curve summaries — both
+// want "how is the model doing lately", not an all-time average that a
+// non-stationarity shock would dominate forever.
+class RollingMetrics {
+ public:
+  explicit RollingMetrics(int window);
+
+  void Add(double rmse, double mae);
+
+  // Means over the retained samples; 0 while empty.
+  double mean_rmse() const;
+  double mean_mae() const;
+  int count() const { return static_cast<int>(samples_.size()); }
+
+ private:
+  const int window_;
+  std::deque<std::pair<double, double>> samples_;
+  double sum_rmse_ = 0.0;
+  double sum_mae_ = 0.0;
+};
+
+}  // namespace stgnn::eval
+
+#endif  // STGNN_EVAL_ROLLING_METRICS_H_

@@ -104,6 +104,46 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step_count = step_count_;
+  state.first_moment.reserve(first_moment_.size());
+  state.second_moment.reserve(second_moment_.size());
+  for (const Tensor& m : first_moment_) state.first_moment.push_back(m);
+  for (const Tensor& v : second_moment_) state.second_moment.push_back(v);
+  return state;
+}
+
+Status Adam::ImportState(const AdamState& state) {
+  if (state.first_moment.size() != params_.size() ||
+      state.second_moment.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "AdamState holds " + std::to_string(state.first_moment.size()) + "/" +
+        std::to_string(state.second_moment.size()) +
+        " moment tensors, optimizer has " + std::to_string(params_.size()) +
+        " parameters");
+  }
+  if (state.step_count < 0) {
+    return Status::InvalidArgument("AdamState step_count is negative");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const tensor::Shape& shape = params_[i].value().shape();
+    if (state.first_moment[i].shape() != shape ||
+        state.second_moment[i].shape() != shape) {
+      return Status::InvalidArgument(
+          "AdamState moment " + std::to_string(i) + " shape " +
+          tensor::ShapeToString(state.first_moment[i].shape()) +
+          " does not match parameter shape " + tensor::ShapeToString(shape));
+    }
+  }
+  step_count_ = state.step_count;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    first_moment_[i] = state.first_moment[i];
+    second_moment_[i] = state.second_moment[i];
+  }
+  return Status::OK();
+}
+
 float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
   STGNN_CHECK_GT(max_norm, 0.0f);
   double total_sq = 0.0;

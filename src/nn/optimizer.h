@@ -1,9 +1,12 @@
 #ifndef STGNN_NN_OPTIMIZER_H_
 #define STGNN_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
 
 namespace stgnn::nn {
 
@@ -40,6 +43,17 @@ class Sgd : public Optimizer {
   std::vector<tensor::Tensor> velocity_;
 };
 
+// Snapshot of a fused-Adam run: the step counter driving bias correction
+// plus the per-parameter first/second moments, in parameter order. Together
+// with the parameter values this is the optimizer's entire mutable state —
+// restoring it resumes training bit-identically to a run that never
+// stopped (the fused kernel reads nothing else).
+struct AdamState {
+  int64_t step_count = 0;
+  std::vector<tensor::Tensor> first_moment;
+  std::vector<tensor::Tensor> second_moment;
+};
+
 // Adam (Kingma & Ba, 2014) — the optimizer the paper trains with.
 class Adam : public Optimizer {
  public:
@@ -52,6 +66,13 @@ class Adam : public Optimizer {
     learning_rate_ = learning_rate;
   }
   float learning_rate() const { return learning_rate_; }
+
+  // Deep-copies the moments and step counter (warm-start checkpointing).
+  AdamState ExportState() const;
+  // Restores a state exported from an Adam over a parameter list with the
+  // same count and shapes. InvalidArgument on mismatch, in which case the
+  // optimizer is left unchanged.
+  Status ImportState(const AdamState& state);
 
  private:
   float learning_rate_;

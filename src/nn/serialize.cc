@@ -9,6 +9,7 @@ namespace stgnn::nn {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'T', 'G', 'N', 'N', '0', '0', '1'};
+constexpr char kAdamMagic[8] = {'S', 'T', 'G', 'N', 'N', 'A', 'D', '1'};
 
 // Collects named parameters including submodules, in registration order.
 // Module::parameters() flattens values; we need names too, so walk the same
@@ -112,6 +113,90 @@ Status LoadParameters(const std::string& path, Module* module) {
     param.SetValue(std::move(value));
   }
   return Status::OK();
+}
+
+Status SaveAdamState(const AdamState& state, const std::string& path) {
+  if (state.first_moment.size() != state.second_moment.size()) {
+    return Status::InvalidArgument(
+        "AdamState moment lists disagree: " +
+        std::to_string(state.first_moment.size()) + " first vs " +
+        std::to_string(state.second_moment.size()) + " second");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(kAdamMagic, sizeof(kAdamMagic));
+  const int64_t step_count = state.step_count;
+  out.write(reinterpret_cast<const char*>(&step_count), sizeof(step_count));
+  const uint32_t count = static_cast<uint32_t>(state.first_moment.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    const tensor::Tensor& first = state.first_moment[i];
+    const tensor::Tensor& second = state.second_moment[i];
+    if (second.shape() != first.shape()) {
+      return Status::InvalidArgument(
+          "AdamState moment " + std::to_string(i) + " shapes disagree: " +
+          tensor::ShapeToString(first.shape()) + " vs " +
+          tensor::ShapeToString(second.shape()));
+    }
+    const uint32_t ndim = static_cast<uint32_t>(first.ndim());
+    out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int d = 0; d < first.ndim(); ++d) {
+      const int32_t extent = first.dim(d);
+      out.write(reinterpret_cast<const char*>(&extent), sizeof(extent));
+    }
+    out.write(reinterpret_cast<const char*>(first.data().data()),
+              static_cast<std::streamsize>(first.size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(second.data().data()),
+              static_cast<std::streamsize>(second.size() * sizeof(float)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AdamState> LoadAdamState(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kAdamMagic, sizeof(kAdamMagic)) != 0) {
+    return Status::InvalidArgument("bad Adam-state magic in " + path);
+  }
+  AdamState state;
+  in.read(reinterpret_cast<char*>(&state.step_count),
+          sizeof(state.step_count));
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || state.step_count < 0 || count > (1u << 20)) {
+    return Status::InvalidArgument("corrupt Adam-state header in " + path);
+  }
+  state.first_moment.reserve(count);
+  state.second_moment.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t ndim = 0;
+    in.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    if (!in || ndim > 8) {
+      return Status::InvalidArgument("corrupt Adam-state (rank)");
+    }
+    tensor::Shape shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      int32_t extent = 0;
+      in.read(reinterpret_cast<char*>(&extent), sizeof(extent));
+      if (!in || extent <= 0) {
+        return Status::InvalidArgument("corrupt Adam-state (extent)");
+      }
+      shape[d] = extent;
+    }
+    tensor::Tensor first(shape);
+    in.read(reinterpret_cast<char*>(first.mutable_data().data()),
+            static_cast<std::streamsize>(first.size() * sizeof(float)));
+    tensor::Tensor second(shape);
+    in.read(reinterpret_cast<char*>(second.mutable_data().data()),
+            static_cast<std::streamsize>(second.size() * sizeof(float)));
+    if (!in) return Status::IoError("truncated Adam-state: " + path);
+    state.first_moment.push_back(std::move(first));
+    state.second_moment.push_back(std::move(second));
+  }
+  return state;
 }
 
 }  // namespace stgnn::nn

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "nn/module.h"
+#include "nn/optimizer.h"
 
 namespace stgnn::nn {
 
@@ -22,6 +23,16 @@ Status SaveParameters(const Module& module, const std::string& path);
 // must have the same parameter names and shapes in the same order (i.e. be
 // constructed with the same configuration).
 Status LoadParameters(const std::string& path, Module* module);
+
+// Optimizer-state checkpoint ("STGNNAD1", little-endian host order):
+//   int64 step count, uint32 param count, then per parameter:
+//   uint32 ndim, int32 dims, float32 first-moment data, float32
+//   second-moment data — in the optimizer's parameter order.
+// Paired with SaveParameters/LoadParameters of the trained module, the
+// round-trip resumes an interrupted fused-Adam run bit-identically
+// (pinned by tests/nn_test.cc).
+Status SaveAdamState(const AdamState& state, const std::string& path);
+Result<AdamState> LoadAdamState(const std::string& path);
 
 }  // namespace stgnn::nn
 

@@ -214,4 +214,51 @@ Result<data::StHistory> FeatureRing::History(int t) const {
   return history;
 }
 
+Result<SlotWindow> FeatureRing::SnapshotWindow(int first, int last) const {
+  STGNN_TRACE_SCOPE("Serve.SnapshotWindow");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first < 0 || first > last) {
+    return Status::InvalidArgument(
+        "SnapshotWindow wants slots [" + std::to_string(first) + ", " +
+        std::to_string(last) + "]: not a valid slot range");
+  }
+  if (last >= next_slot_) {
+    return Status::OutOfRange("slot " + std::to_string(last) +
+                              " has not been ingested yet (frontier " +
+                              std::to_string(next_slot_) + ")");
+  }
+  const int oldest_retained = next_slot_ - stored_;
+  if (first < oldest_retained) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(first) + " was already overwritten (ring "
+        "retains [" + std::to_string(oldest_retained) + ", " +
+        std::to_string(next_slot_) + "))");
+  }
+  if (write_in_flight_ && invalidating_slot_ >= first &&
+      invalidating_slot_ <= last) {
+    return Status::FailedPrecondition(
+        "slot " + std::to_string(invalidating_slot_) +
+        " is being overwritten by an in-flight ingest (copy would straddle "
+        "the invalidation)");
+  }
+  SlotWindow window;
+  window.first = first;
+  const int count = last - first + 1;
+  window.inflow.reserve(count);
+  window.outflow.reserve(count);
+  const int rows = num_owned();
+  for (int slot = first; slot <= last; ++slot) {
+    const size_t cell = CellOffset(slot);
+    Tensor in = Tensor::Uninitialized({rows, num_stations_});
+    Tensor out = Tensor::Uninitialized({rows, num_stations_});
+    std::memcpy(in.mutable_data().data(), in_rows_.data() + cell,
+                row_size_ * sizeof(float));
+    std::memcpy(out.mutable_data().data(), out_rows_.data() + cell,
+                row_size_ * sizeof(float));
+    window.inflow.push_back(std::move(in));
+    window.outflow.push_back(std::move(out));
+  }
+  return window;
+}
+
 }  // namespace stgnn::serve

@@ -27,6 +27,20 @@ class RingListener {
   virtual void OnRingAdvance(int frontier, int min_servable_slot) = 0;
 };
 
+// Copy-out of consecutive retained slots, as returned by
+// FeatureRing::SnapshotWindow. Each element holds one slot's stored
+// [num_owned, n] pre-scaled rows — bitwise the floats History() would
+// memcpy for the same slot, copied under the ring mutex so they can never
+// be torn by a concurrent ingest.
+struct SlotWindow {
+  int first = 0;  // slot held by inflow[0] / outflow[0]
+  std::vector<tensor::Tensor> inflow;
+  std::vector<tensor::Tensor> outflow;
+
+  int count() const { return static_cast<int>(inflow.size()); }
+  int last() const { return first + count() - 1; }
+};
+
 // Rolling window of per-slot flow matrices, sized to exactly the history
 // STGNN-DJD's flow convolution reads: the last k slots plus the same slot
 // of the last d days, i.e. max(k, d * slots_per_day) slots (plus a small
@@ -114,6 +128,18 @@ class FeatureRing {
   //  - OutOfRange: t is ahead of the ingest frontier (history not yet
   //    observed).
   Result<data::StHistory> History(int t) const;
+
+  // Copies the stored rows of slots [first, last] (inclusive) out of the
+  // ring — the streaming trainer's bulk export, which must never observe a
+  // row mid-overwrite. Typed errors, never aborts:
+  //  - InvalidArgument: first < 0 or first > last;
+  //  - OutOfRange: last is at or ahead of the ingest frontier (not yet
+  //    observed — retry after the next Push commits);
+  //  - FailedPrecondition: a requested slot was already overwritten (the
+  //    caller fell behind the ring's retention), or an in-flight Push is
+  //    rewriting a requested slot's cell (the copy would straddle the
+  //    invalidation — the same guard History() uses).
+  Result<SlotWindow> SnapshotWindow(int first, int last) const;
 
   // Registers the frontier-advance listener (the serving slot cache).
   // Pass nullptr to clear. At most one listener may be registered at a

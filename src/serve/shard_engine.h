@@ -100,8 +100,8 @@ class ShardEngine : public InferenceEngine, public ShardChannel {
     return registry_->current_version();
   }
   int NextSlot() const override { return ring_->next_slot(); }
-  bool HasContext(int slot, uint64_t version) const override {
-    return cache_.Peek(slot, version) != nullptr;
+  bool HasContext(int slot, uint64_t version) override {
+    return cache_.Probe(slot, version);
   }
   Result<core::ShardConvRows> ConvRows(int slot, uint64_t version) override;
   Result<core::ShardFusedRows> FuseRows(

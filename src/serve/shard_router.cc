@@ -96,13 +96,17 @@ uint64_t ShardFleet::current_version() const {
   return shards_[0]->registry->current_version();
 }
 
+std::shared_ptr<const ModelSnapshot> ShardFleet::Current() const {
+  return shards_[0]->registry->Current();
+}
+
 Status ShardFleet::EnsureContext(int slot, uint64_t version) {
+  // Probe every shard (no early break): each shard's cache records the
+  // hit/miss, so a swap is observable as one miss per shard, not just on
+  // the first shard the coordinator happened to ask.
   bool all = true;
   for (int s = 0; s < transport_->num_shards(); ++s) {
-    if (!transport_->channel(s)->HasContext(slot, version)) {
-      all = false;
-      break;
-    }
+    if (!transport_->channel(s)->HasContext(slot, version)) all = false;
   }
   if (all) return Status::OK();
 

@@ -66,6 +66,12 @@ class ShardFleet {
   int next_slot() const;
   uint64_t current_version() const;
 
+  // The live snapshot (null until the first Publish). Shard registries hold
+  // the same snapshot in lockstep, so shard 0's copy speaks for the fleet —
+  // this is what lets an online trainer warm-start from a sharded
+  // deployment exactly as from a single registry.
+  std::shared_ptr<const ModelSnapshot> Current() const;
+
   // Ensures every shard holds a finished context for (slot, version),
   // running the build rounds if needed. Concurrent callers for the same key
   // share one build. Fails typed — notably with "stale shard version" when

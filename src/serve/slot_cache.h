@@ -98,18 +98,24 @@ class SlotCacheT : public RingListener {
     return nullptr;
   }
 
-  // Stats-free Lookup: neither counts hit/miss nor touches LRU stamps.
-  // Used by coordinators probing "is this context already built?" without
-  // polluting the serving hit-rate the tests assert on.
-  std::shared_ptr<const EntryT> Peek(int slot, uint64_t model_version) const {
+  // Counting existence probe: records a hit or a miss for (slot,
+  // model_version) but leaves LRU stamps alone. Coordinators use this for
+  // "is this context already built?", which makes a hot-swap observable in
+  // the stats — the first probe of a freshly published version is exactly
+  // one miss per cache, and every probe after the rebuild is a hit.
+  bool Probe(int slot, uint64_t model_version) {
     std::lock_guard<std::mutex> lock(mu_);
     for (const Shelf& shelf : shelves_) {
       if (shelf.entry->slot == slot &&
           shelf.entry->model_version == model_version) {
-        return shelf.entry;
+        stats_.hits.fetch_add(1, std::memory_order_relaxed);
+        STGNN_COUNTER_INC("serve.cache_hit");
+        return true;
       }
     }
-    return nullptr;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    STGNN_COUNTER_INC("serve.cache_miss");
+    return false;
   }
 
   // Publishes an entry, evicting the least-recently-used one if full and

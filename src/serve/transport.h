@@ -37,8 +37,10 @@ class ShardChannel {
   // Ingest frontier of the shard's ring.
   virtual int NextSlot() const = 0;
   // True when the shard already holds a finished context for (slot,
-  // version) — the coordinator's fast path skips the build rounds.
-  virtual bool HasContext(int slot, uint64_t version) const = 0;
+  // version) — the coordinator's fast path skips the build rounds. Counts
+  // a hit or a miss in the shard's cache stats, so a hot-swap shows up as
+  // exactly one miss per shard (the probe that triggers the rebuild).
+  virtual bool HasContext(int slot, uint64_t version) = 0;
 
   // Round 1: the shard's rows of the four 1x1-conv outputs, computed from
   // its own ring rows. Starts (or joins) the build for (slot, version).

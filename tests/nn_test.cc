@@ -1,6 +1,9 @@
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/stgnn_djd.h"
 #include "data/window.h"
@@ -393,6 +396,150 @@ TEST(SerializeRoundTrip, ShapeMismatchFailsToLoad) {
   const Status st = LoadParameters(path, &wrong_shape);
   EXPECT_FALSE(st.ok());
   std::remove(path.c_str());
+}
+
+// --- Adam optimizer-state checkpoints ---------------------------------------
+
+// Runs `steps` Adam steps on `layer` against the pre-generated batches
+// starting at `first`, minimising MSE to y = 2 x1 - 3 x2 + 1.
+void RunRegressionSteps(Linear* layer, Adam* opt,
+                        const std::vector<Tensor>& batches, int first,
+                        int steps) {
+  for (int s = first; s < first + steps; ++s) {
+    const Tensor& x = batches[s];
+    Tensor y({x.dim(0), 1});
+    for (int i = 0; i < x.dim(0); ++i) {
+      y.at(i, 0) = 2.0f * x.at(i, 0) - 3.0f * x.at(i, 1) + 1.0f;
+    }
+    opt->ZeroGrad();
+    MseLoss(layer->Forward(Variable::Constant(x)), Variable::Constant(y))
+        .Backward();
+    opt->Step();
+  }
+}
+
+std::vector<Tensor> RegressionBatches(int count) {
+  common::Rng rng(61);
+  std::vector<Tensor> batches;
+  for (int s = 0; s < count; ++s) {
+    batches.push_back(Tensor::RandomUniform({16, 2}, -1, 1, &rng));
+  }
+  return batches;
+}
+
+TEST(SerializeRoundTrip, AdamStateBitIdenticalRoundTrip) {
+  common::Rng rng(62);
+  Linear layer(2, 1, &rng);
+  Adam opt(layer.parameters(), 0.05f);
+  const std::vector<Tensor> batches = RegressionBatches(5);
+  RunRegressionSteps(&layer, &opt, batches, 0, 5);
+
+  const AdamState saved = opt.ExportState();
+  ASSERT_EQ(saved.step_count, 5);
+  const std::string path = RoundTripPath("adam");
+  ASSERT_TRUE(SaveAdamState(saved, path).ok());
+  const Result<AdamState> loaded = LoadAdamState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded).step_count, saved.step_count);
+  ASSERT_EQ((*loaded).first_moment.size(), saved.first_moment.size());
+  ASSERT_EQ((*loaded).second_moment.size(), saved.second_moment.size());
+  for (size_t i = 0; i < saved.first_moment.size(); ++i) {
+    ExpectBitIdentical((*loaded).first_moment[i], saved.first_moment[i]);
+    ExpectBitIdentical((*loaded).second_moment[i], saved.second_moment[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeRoundTrip, AdamStateMalformedFails) {
+  EXPECT_FALSE(LoadAdamState("/nonexistent/adam.ckpt").ok());
+
+  // Wrong magic.
+  const std::string path = RoundTripPath("adam_bad");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTADAM1", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadAdamState(path).ok());
+
+  // Truncated: a valid header cut off mid-moments.
+  common::Rng rng(63);
+  Linear layer(2, 1, &rng);
+  Adam opt(layer.parameters(), 0.05f);
+  const std::vector<Tensor> batches = RegressionBatches(1);
+  RunRegressionSteps(&layer, &opt, batches, 0, 1);
+  ASSERT_TRUE(SaveAdamState(opt.ExportState(), path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long full = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), full - 4), 0);
+  }
+  EXPECT_FALSE(LoadAdamState(path).ok());
+  std::remove(path.c_str());
+
+  // Import into an optimizer whose parameter list disagrees.
+  Linear other(3, 2, &rng);
+  Adam mismatched(other.parameters(), 0.05f);
+  EXPECT_FALSE(mismatched.ImportState(opt.ExportState()).ok());
+}
+
+// The warm-start contract the online trainer is built on: training M+K
+// steps straight through equals training M steps, checkpointing parameters
+// AND optimizer state, restoring both into fresh objects, and training K
+// more — bit-for-bit, not approximately.
+TEST(SerializeRoundTrip, AdamWarmStartContinuesBitIdentically) {
+  const int kFirstLeg = 7;
+  const int kSecondLeg = 6;
+  const std::vector<Tensor> batches = RegressionBatches(kFirstLeg + kSecondLeg);
+
+  common::Rng rng_a(64);
+  Linear uninterrupted(2, 1, &rng_a);
+  Adam opt_a(uninterrupted.parameters(), 0.05f);
+  RunRegressionSteps(&uninterrupted, &opt_a, batches, 0,
+                     kFirstLeg + kSecondLeg);
+
+  common::Rng rng_b(64);  // same init as the uninterrupted run
+  Linear first_leg(2, 1, &rng_b);
+  Adam opt_b(first_leg.parameters(), 0.05f);
+  RunRegressionSteps(&first_leg, &opt_b, batches, 0, kFirstLeg);
+  const std::string params_path = RoundTripPath("warm_params");
+  const std::string adam_path = RoundTripPath("warm_adam");
+  ASSERT_TRUE(SaveParameters(first_leg, params_path).ok());
+  ASSERT_TRUE(SaveAdamState(opt_b.ExportState(), adam_path).ok());
+
+  common::Rng rng_c(65);  // deliberately different init: the load overwrites
+  Linear resumed(2, 1, &rng_c);
+  ASSERT_TRUE(LoadParameters(params_path, &resumed).ok());
+  Adam opt_c(resumed.parameters(), 0.05f);
+  const Result<AdamState> restored = LoadAdamState(adam_path);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(opt_c.ImportState(*restored).ok());
+  RunRegressionSteps(&resumed, &opt_c, batches, kFirstLeg, kSecondLeg);
+
+  ExpectBitIdentical(resumed.weight().value(), uninterrupted.weight().value());
+  ExpectBitIdentical(resumed.bias().value(), uninterrupted.bias().value());
+
+  // Without the optimizer state the same continuation diverges — the moment
+  // buffers and bias-correction counter are load-bearing.
+  common::Rng rng_d(66);
+  Linear cold(2, 1, &rng_d);
+  ASSERT_TRUE(LoadParameters(params_path, &cold).ok());
+  Adam opt_d(cold.parameters(), 0.05f);  // fresh moments, step_count 0
+  RunRegressionSteps(&cold, &opt_d, batches, kFirstLeg, kSecondLeg);
+  bool identical = true;
+  const Tensor& got = cold.weight().value();
+  const Tensor& want = uninterrupted.weight().value();
+  for (int64_t i = 0; i < want.size(); ++i) {
+    if (got.flat(i) != want.flat(i)) identical = false;
+  }
+  EXPECT_FALSE(identical) << "cold-restart continuation should diverge";
+
+  std::remove(params_path.c_str());
+  std::remove(adam_path.c_str());
 }
 
 }  // namespace

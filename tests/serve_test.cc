@@ -5,6 +5,7 @@
 // hot-swap under load with zero dropped or torn requests, and the
 // admission-control / deadline shedding semantics. Runs under TSAN in CI.
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <thread>
@@ -205,6 +206,104 @@ TEST(FeatureRingTest, HistoryStraddlingInFlightIngestFailsTyped) {
   EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
   EXPECT_NE(after.message().find("overwritten"), std::string::npos);
   EXPECT_TRUE(ring.History(frontier + 1).ok());
+}
+
+TEST(FeatureRingTest, SnapshotWindowCopiesExactScaledRowsOrFailsTyped) {
+  const data::FlowDataset flow = MakeFlow();
+  const float scale = 0.5f;
+  FeatureRing ring(flow.num_stations, 3, 1, flow.slots_per_day, scale);
+  FillRing(&ring, flow, flow.num_slots);
+  const int frontier = ring.next_slot();          // 24
+  const int oldest = frontier - ring.capacity();  // 16: retains [16, 24)
+
+  // A retained range copies out exactly the pre-scaled stored rows.
+  const Result<SlotWindow> window = ring.SnapshotWindow(oldest, frontier - 1);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ((*window).first, oldest);
+  EXPECT_EQ((*window).count(), ring.capacity());
+  EXPECT_EQ((*window).last(), frontier - 1);
+  for (int slot = oldest; slot < frontier; ++slot) {
+    Tensor want_in = flow.inflow[slot];
+    Tensor want_out = flow.outflow[slot];
+    for (float& v : want_in.mutable_data()) v *= scale;
+    for (float& v : want_out.mutable_data()) v *= scale;
+    ExpectBitEqual((*window).inflow[slot - oldest], want_in);
+    ExpectBitEqual((*window).outflow[slot - oldest], want_out);
+  }
+  // A single-slot range works too.
+  ASSERT_TRUE(ring.SnapshotWindow(frontier - 1, frontier - 1).ok());
+
+  // Malformed ranges.
+  EXPECT_EQ(ring.SnapshotWindow(-1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ring.SnapshotWindow(frontier - 1, frontier - 2).status().code(),
+            StatusCode::kInvalidArgument);
+  // Not yet ingested: retry after the next Push, don't treat as fatal.
+  EXPECT_EQ(ring.SnapshotWindow(frontier - 1, frontier).status().code(),
+            StatusCode::kOutOfRange);
+  // Fell behind retention (even when only the range's first slot did).
+  const Status behind = ring.SnapshotWindow(oldest - 1, oldest).status();
+  EXPECT_EQ(behind.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(behind.message().find("overwritten"), std::string::npos);
+
+  // A copy that would straddle an in-flight overwrite fails typed; ranges
+  // clear of the invalidated cell still copy out mid-ingest.
+  bool hook_ran = false;
+  ring.SetIngestPauseForTest([&] {
+    hook_ran = true;
+    const Status straddle =
+        ring.SnapshotWindow(oldest, frontier - 1).status();
+    EXPECT_EQ(straddle.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(straddle.message().find("in-flight"), std::string::npos);
+    EXPECT_TRUE(ring.SnapshotWindow(oldest + 1, frontier - 1).ok());
+  });
+  ASSERT_TRUE(ring.Push(frontier, flow.inflow[0], flow.outflow[0]).ok());
+  ring.SetIngestPauseForTest(nullptr);
+  EXPECT_TRUE(hook_ran);
+}
+
+// Ingest races SnapshotWindow callers (the online trainer's read path):
+// every successful copy must be bitwise-correct for its claimed range, and
+// every refusal must be one of the three typed errors. Runs under TSAN.
+TEST(FeatureRingTest, SnapshotWindowConcurrentWithIngestStaysConsistent) {
+  const data::FlowDataset flow = MakeFlow();
+  FeatureRing ring(flow.num_stations, 3, 1, flow.slots_per_day, 1.0f);
+  FillRing(&ring, flow, ring.first_predictable_slot());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> copies{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        const int frontier = ring.next_slot();
+        const Result<SlotWindow> window =
+            ring.SnapshotWindow(frontier - 2, frontier - 1);
+        if (!window.ok()) {
+          const StatusCode code = window.status().code();
+          ASSERT_TRUE(code == StatusCode::kInvalidArgument ||
+                      code == StatusCode::kOutOfRange ||
+                      code == StatusCode::kFailedPrecondition)
+              << window.status().ToString();
+          continue;
+        }
+        copies.fetch_add(1);
+        ASSERT_EQ((*window).count(), 2);
+        for (int i = 0; i < 2; ++i) {
+          const int slot = (*window).first + i;
+          ExpectBitEqual((*window).inflow[i], flow.inflow[slot]);
+          ExpectBitEqual((*window).outflow[i], flow.outflow[slot]);
+        }
+      }
+    });
+  }
+  for (int t = ring.next_slot(); t < flow.num_slots; ++t) {
+    ASSERT_TRUE(ring.Push(t, flow.inflow[t], flow.outflow[t]).ok());
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  done.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(copies.load(), 0);
 }
 
 // --- LatencyHistogram ------------------------------------------------------

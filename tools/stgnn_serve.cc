@@ -36,7 +36,10 @@
 // Usage: stgnn_serve [--n 128,256,512] [--workers W] [--max-batch B]
 //                    [--queue Q] [--requests R] [--qps QPS] [--out PATH]
 //                    [--shards K,...] [--shard-n N,...] [--shard-requests R]
-//                    [--smoke] [--print-counters]
+//                    [--seed S] [--smoke] [--print-counters]
+// --seed reseeds the simulated city's activity process (0 = the preset
+// default), so two runs with the same seed replay the identical trip
+// stream — the knob BENCH_online.json-style drift scenarios pin.
 // Regenerate the tracked record from the repo root with:
 //   ./build/tools/stgnn_serve --shards 1,2,4 --out BENCH_serve.json
 
@@ -86,6 +89,8 @@ struct Options {
   std::vector<int> shards;
   std::vector<int> shard_sizes = {1024, 4096};
   int shard_requests = 0;
+  // City-simulator seed override; 0 keeps each preset's default.
+  uint64_t seed = 0;
 };
 
 struct RunResult {
@@ -153,7 +158,7 @@ uint64_t ResponseDigest(const serve::PredictResponse& response) {
 // every slot up to the frontier, and a published (untrained — serving cost
 // does not depend on the weights) model snapshot.
 struct Fixture {
-  explicit Fixture(int n) {
+  explicit Fixture(int n, uint64_t seed = 0) {
     data::CityConfig city = data::CityConfig::Tiny();
     if (n >= 1024) {
       // The sharded-scale cities: 32x32 / 64x64 district grids at two-hour
@@ -172,6 +177,9 @@ struct Fixture {
       city.slot_minutes = 60;
       city.num_days = 2;
     }
+    // Applied after the preset branch so it survives the ServingScale
+    // reassignment above.
+    if (seed != 0) city.seed = seed;
     num_districts = city.num_districts;
     stations_per_district = city.stations_per_district;
     data::TripDataset trips = data::CitySimulator(city).Generate();
@@ -614,7 +622,7 @@ int Main(const Options& options) {
   std::vector<RunResult> runs;
   for (int n : options.sizes) {
     std::fprintf(stderr, "n=%d: generating city + warming ring...\n", n);
-    Fixture fixture(n);
+    Fixture fixture(n, options.seed);
     serve::ServiceOptions batched;
     batched.num_workers = options.workers;
     batched.max_batch = options.max_batch;
@@ -659,7 +667,7 @@ int Main(const Options& options) {
                                       : options.shard_sizes) {
     std::fprintf(stderr, "shard n=%d: generating city + warming rings...\n",
                  n);
-    Fixture fixture(n);
+    Fixture fixture(n, options.seed);
     serve::ServiceOptions batched;
     batched.num_workers = options.workers;
     batched.max_batch = options.max_batch;
@@ -908,6 +916,9 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--shard-requests") {
       options.shard_requests = stgnn::common::ParseInt(next()).ValueOrDie();
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(
+          stgnn::common::ParseInt(next()).ValueOrDie());
     } else if (arg == "--out") {
       options.out = next();
     } else if (arg == "--print-counters") {
